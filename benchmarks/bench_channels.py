@@ -1,0 +1,103 @@
+"""E6 -- the permissive channels and the Section 6 lemma operations.
+
+Micro-benchmarks of the delivery-set machinery the impossibility
+engines lean on: channel stepping, the ``del`` surgery, clean-state and
+waiting-sequence rewrites.  Each benchmark also asserts the lemma's
+postcondition, so the suite doubles as a conformance check for
+Lemmas 6.3-6.7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Packet
+from repro.channels import (
+    DeliverySet,
+    PermissiveChannel,
+    PermissiveFifoChannel,
+    random_reordering,
+    send_pkt,
+)
+
+N_PACKETS = 200
+
+
+def loaded_state(channel, count=N_PACKETS):
+    state = channel.initial_state()
+    for i in range(1, count + 1):
+        state = channel.step(
+            state, send_pkt("t", "r", Packet(("H", i % 7), (), uid=i))
+        )
+    return state
+
+
+def test_channel_step_throughput(benchmark):
+    channel = PermissiveChannel("t", "r")
+
+    def pump():
+        state = loaded_state(channel)
+        for _ in range(N_PACKETS):
+            actions = list(channel.enabled_local_actions(state))
+            state = channel.step(state, actions[0])
+        return state
+
+    state = benchmark(pump)
+    assert state.counter2 == N_PACKETS
+
+
+def test_make_clean(benchmark):
+    channel = PermissiveChannel("t", "r")
+    state = loaded_state(channel)
+
+    cleaned = benchmark(lambda: channel.make_clean(state))
+    assert cleaned.is_clean()
+    assert cleaned.waiting_sequence() == ()
+
+
+def test_with_waiting_reversal(benchmark):
+    """Lemma 6.7: schedule all in-transit packets in reverse order."""
+    channel = PermissiveChannel("t", "r")
+    state = loaded_state(channel)
+    indices = list(range(N_PACKETS, 0, -1))
+
+    surgered = benchmark(lambda: channel.with_waiting(state, indices))
+    waiting = surgered.waiting_sequence()
+    assert [p.uid for p in waiting] == indices
+
+
+def test_with_waiting_fifo_subsequence(benchmark):
+    """Lemma 6.6 on C-hat: keep every third packet, monotone."""
+    channel = PermissiveFifoChannel("t", "r")
+    state = loaded_state(channel)
+    indices = list(range(1, N_PACKETS + 1, 3))
+
+    surgered = benchmark(lambda: channel.with_waiting(state, indices))
+    assert surgered.delivery.is_monotone()
+    assert len(surgered.waiting_sequence()) == len(indices)
+
+
+def test_delete_surgery_chain(benchmark):
+    """Repeated ``del`` applications (the Lemma 6.6 mechanism)."""
+    base = random_reordering(3, 0.0, 8, 256)
+
+    def chain():
+        ds = base
+        for _ in range(64):
+            ds = ds.delete_slot(1)
+        return ds
+
+    result = benchmark(chain)
+    # 64 leading slots removed; the set is still total and injective.
+    for j in range(1, 64):
+        assert result.slot_of(result.source_of(j)) == j
+
+
+def test_delivery_set_lookup(benchmark):
+    ds = random_reordering(9, 0.2, 16, 2048)
+
+    def lookups():
+        return sum(ds.source_of(j) for j in range(1, 1024))
+
+    total = benchmark(lookups)
+    assert total > 0

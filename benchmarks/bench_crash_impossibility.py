@@ -1,0 +1,66 @@
+"""E1 -- Theorem 7.5: the crash-impossibility construction.
+
+For every crashing, message-independent protocol in the repository the
+engine must construct a validated counterexample; the benchmark times
+the full construction (reference execution + pumping + fair extension +
+validation) and records its size.  Expected shape: every victim falls;
+the non-volatile control is rejected; construction cost grows with the
+length of the reference execution's alternation chain (Baratz-Segall's
+handshake makes its chain the deepest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.impossibility import EngineError, refute_crash_tolerance
+from repro.protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    eager_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+VICTIMS = {
+    "abp": alternating_bit_protocol,
+    "sliding-window-1": lambda: sliding_window_protocol(1),
+    "sliding-window-2": lambda: sliding_window_protocol(2),
+    "sliding-window-4": lambda: sliding_window_protocol(4),
+    "sliding-window-8": lambda: sliding_window_protocol(8),
+    "stenning": stenning_protocol,
+    "baratz-segall-volatile": lambda: baratz_segall_protocol(
+        nonvolatile=False
+    ),
+    "eager": eager_protocol,
+}
+
+
+@pytest.mark.parametrize("name", sorted(VICTIMS))
+def test_crash_engine(benchmark, name):
+    factory = VICTIMS[name]
+
+    certificate = benchmark(lambda: refute_crash_tolerance(factory()))
+
+    assert certificate.validate(), name
+    benchmark.extra_info["kind"] = certificate.kind
+    benchmark.extra_info["violated"] = ",".join(certificate.violated)
+    benchmark.extra_info["pump_levels"] = certificate.stats["pump_levels"]
+    benchmark.extra_info["replayed_steps"] = certificate.stats[
+        "replayed_steps"
+    ]
+    benchmark.extra_info["behavior_events"] = len(certificate.behavior)
+
+
+def test_crash_engine_rejects_nonvolatile(benchmark):
+    """The boundary control: non-volatile memory escapes the theorem."""
+
+    def attempt():
+        try:
+            refute_crash_tolerance(baratz_segall_protocol(nonvolatile=True))
+        except EngineError:
+            return True
+        return False
+
+    rejected = benchmark(attempt)
+    assert rejected

@@ -1,0 +1,94 @@
+"""E7 -- framework cost: composition stepping and trace checking.
+
+Measures the I/O-automaton executor on the full four-component
+composition and the throughput of the specification checkers, the two
+fixed costs every experiment pays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import MessageFactory
+from repro.datalink import dl_module, wdl_module
+from repro.protocols import alternating_bit_protocol, sliding_window_protocol
+from repro.sim import fifo_system
+
+MESSAGES = 25
+
+
+def full_run(protocol):
+    system = fifo_system(protocol)
+    factory = MessageFactory()
+    messages = factory.fresh_many(MESSAGES)
+    fragment = system.run_fair(
+        system.initial_state(),
+        inputs=[system.wake_t(), system.wake_r()]
+        + [system.send(m) for m in messages],
+        max_steps=500_000,
+    )
+    return system, fragment
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("abp", alternating_bit_protocol),
+        ("sliding-window-4", lambda: sliding_window_protocol(4)),
+    ],
+)
+def test_composed_system_throughput(benchmark, name, factory):
+    protocol = factory()
+
+    system, fragment = benchmark(lambda: full_run(protocol))
+    assert len(fragment) >= 3 * MESSAGES
+    benchmark.extra_info["steps"] = len(fragment)
+
+
+def test_dl_checker_throughput(benchmark):
+    system, fragment = full_run(sliding_window_protocol(4))
+    behavior = system.behavior(fragment)
+    module = dl_module("t", "r")
+
+    verdict = benchmark(lambda: module.check(behavior))
+    assert verdict.in_module
+
+
+def test_wdl_checker_throughput(benchmark):
+    system, fragment = full_run(alternating_bit_protocol())
+    behavior = system.behavior(fragment)
+    module = wdl_module("t", "r")
+
+    verdict = benchmark(lambda: module.check(behavior))
+    assert verdict.in_module
+
+
+def test_full_trace_audit_throughput(benchmark):
+    from repro.analysis import check_datalink_trace
+
+    system, fragment = full_run(alternating_bit_protocol())
+    behavior = system.behavior(fragment)
+
+    report = benchmark(lambda: check_datalink_trace(behavior))
+    assert report.ok
+
+
+def test_explorer_throughput(benchmark):
+    """States per second of the exhaustive explorer on the ABP system."""
+    from repro.analysis import verify_delivery_order
+
+    result = benchmark(
+        lambda: verify_delivery_order(
+            alternating_bit_protocol(), messages=2, capacity=3
+        )
+    )
+    assert result.ok and result.exhaustive
+    benchmark.extra_info["states"] = result.states_explored
+
+
+def test_refinement_throughput(benchmark):
+    from repro.analysis import verify_abp_refinement
+
+    result = benchmark(lambda: verify_abp_refinement(messages=3, capacity=2))
+    assert result.holds
+    benchmark.extra_info["states"] = result.states_checked

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks double as the experiment harness; keep ordering stable
+    # so the printed tables in EXPERIMENTS.md are reproducible.
+    items.sort(key=lambda item: item.nodeid)

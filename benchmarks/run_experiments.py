@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table recorded in EXPERIMENTS.md.
+
+Thin wrapper over :mod:`repro.analysis.report` (also available as
+``python -m repro experiments``).  The per-experiment pytest-benchmark
+files time the same code; this script prints the *result tables* — who
+wins, by how much.
+
+Run:  python benchmarks/run_experiments.py [E1 E2 ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import run_all, to_text
+
+
+def main() -> None:
+    only = sys.argv[1:] or None
+    print(to_text(run_all(only=only)))
+
+
+if __name__ == "__main__":
+    main()

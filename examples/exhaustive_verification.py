@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Exhaustive bounded verification (experiment E9).
+
+Three adversaries live in this repository: seeded random channels
+(sampling), the paper's constructive pumping (which builds one precise
+bad execution), and — shown here — an exhaustive explorer that
+enumerates *every* loss pattern and interleaving over bounded
+nondeterministic channels.
+
+The demo:
+
+1. proves (at the stated bounds) that the alternating-bit protocol
+   delivers in order, exactly once, over every lossy FIFO channel
+   behavior;
+2. flips one knob — reordering displacement 2 — and prints the minimal
+   counterexample as a message sequence chart;
+3. shows that modulo-Stenning(4) tolerates that same displacement
+   (the paper's footnote 1: bounded packet displacement restores
+   bounded headers), while Theorem 8.5's engine still defeats it under
+   *unbounded* reordering.
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+from repro.analysis import render_msc, verify_delivery_order
+from repro.impossibility import refute_bounded_headers
+from repro.protocols import (
+    alternating_bit_protocol,
+    eager_protocol,
+    modulo_stenning_protocol,
+)
+
+
+def report(label, result):
+    verdict = "VERIFIED" if result.ok else "COUNTEREXAMPLE"
+    scope = "exhaustive" if result.exhaustive else "truncated"
+    print(
+        f"{label:44s} {verdict:14s} {result.states_explored:7d} states "
+        f"({scope})"
+    )
+    return result
+
+
+def main() -> None:
+    print("exhaustive bounded verification: 2 messages, capacity-3")
+    print("nondeterministic lossy channels\n")
+
+    report(
+        "alternating-bit, FIFO (depth 1)",
+        verify_delivery_order(
+            alternating_bit_protocol(),
+            messages=2,
+            capacity=3,
+            reorder_depth=1,
+        ),
+    )
+    broken = report(
+        "alternating-bit, reorder depth 2",
+        verify_delivery_order(
+            alternating_bit_protocol(),
+            messages=2,
+            capacity=3,
+            reorder_depth=2,
+        ),
+    )
+    report(
+        "modulo-stenning(4), reorder depth 2",
+        verify_delivery_order(
+            modulo_stenning_protocol(4),
+            messages=2,
+            capacity=3,
+            reorder_depth=2,
+        ),
+    )
+    report(
+        "naive-eager, FIFO (no dedup)",
+        verify_delivery_order(eager_protocol(), messages=1, capacity=2),
+    )
+
+    print("\nthe minimal ABP counterexample under displacement-2 reordering:")
+    print()
+    print(render_msc(broken.counterexample))
+
+    print(
+        "\n...but no bounded modulus survives *unbounded* reordering "
+        "(Theorem 8.5):"
+    )
+    certificate = refute_bounded_headers(modulo_stenning_protocol(4))
+    print(
+        f"  modulo-stenning(4): {certificate.kind} after "
+        f"{certificate.stats['pump_rounds']} pumping rounds "
+        f"(validated: {certificate.validate()})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Executable reproduction of Lynch, Mansour & Fekete (1988),
+"The Data Link Layer: Two Impossibility Results" (MIT/LCS/TM-355, PODC).
+
+The package provides:
+
+* :mod:`repro.ioa` -- the I/O automaton model (Section 2);
+* :mod:`repro.channels` -- the physical layer: PL/PL-FIFO specs and the
+  permissive channels C-bar / C-hat (Sections 3 and 6);
+* :mod:`repro.datalink` -- the data link layer: DL/WDL specs, protocol
+  interfaces, message-independence / crashing / k-boundedness (Sections
+  4-5, 8.1);
+* :mod:`repro.protocols` -- ABP, sliding window, Stenning, Baratz-Segall;
+* :mod:`repro.impossibility` -- Theorems 7.5 and 8.5 as constructive
+  engines emitting machine-checked violation certificates;
+* :mod:`repro.sim` / :mod:`repro.analysis` -- simulation and auditing.
+
+Quickstart::
+
+    from repro.protocols import alternating_bit_protocol
+    from repro.impossibility import refute_crash_tolerance
+
+    certificate = refute_crash_tolerance(alternating_bit_protocol())
+    print(certificate.describe())
+"""
+
+from .alphabets import Message, MessageFactory, Packet
+
+__version__ = "1.0.0"
+
+__all__ = ["Message", "MessageFactory", "Packet", "__version__"]

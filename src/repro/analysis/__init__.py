@@ -1,0 +1,51 @@
+"""Trace auditing and measurement utilities."""
+
+from .ablation import (
+    AblationCell,
+    AblationGrid,
+    reordering_tolerance_grid,
+)
+from .msc import render_fragment, render_msc
+from .refinement_proofs import (
+    ReliableLinkSpec,
+    abp_mapping,
+    verify_abp_refinement,
+    verify_refinement,
+)
+from .report import Table, run_all, to_markdown, to_text
+from .model_check import (
+    ModelCheckResult,
+    ScriptedEnvironment,
+    verify_delivery_order,
+)
+from .header_growth import (
+    HeaderGrowthPoint,
+    HeaderGrowthSeries,
+    measure_header_growth,
+)
+from .trace_check import TraceReport, check_datalink_trace, check_physical_trace
+
+__all__ = [
+    "AblationCell",
+    "ModelCheckResult",
+    "ScriptedEnvironment",
+    "ReliableLinkSpec",
+    "Table",
+    "render_fragment",
+    "run_all",
+    "to_markdown",
+    "to_text",
+    "render_msc",
+    "abp_mapping",
+    "verify_abp_refinement",
+    "verify_delivery_order",
+    "verify_refinement",
+    "AblationGrid",
+    "reordering_tolerance_grid",
+    "HeaderGrowthPoint",
+    "HeaderGrowthSeries",
+    "TraceReport",
+    "check_datalink_trace",
+    "check_physical_trace",
+    "measure_header_growth",
+]

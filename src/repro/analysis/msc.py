@@ -1,0 +1,121 @@
+"""Render executions as ASCII message sequence charts.
+
+Turns a composed-system execution (or any action sequence) into a
+two-station chart: environment interactions and crashes on the outer
+edges, packets on the wire between the stations, with lost packets
+(sent but never received) marked.  Used by the CLI (``simulate --msc``)
+and handy when reading violation certificates.
+
+Example output::
+
+     t station                  wire                     r station
+     wake
+                                                         wake
+     send_msg(m0)
+     DATA(0)[m0] ------------------------------------->
+                                                         (delivered)
+                                                         receive_msg(m0)
+                 <------------------------------------ ACK(0)
+     (delivered)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..alphabets import Packet
+from ..ioa.actions import Action
+from ..ioa.execution import ExecutionFragment
+from ..channels.actions import CRASH, FAIL, RECEIVE_PKT, SEND_PKT, WAKE
+from ..datalink.actions import RECEIVE_MSG, SEND_MSG
+
+_WIDTH = 72
+_LEFT = 0
+_WIRE = 24
+_RIGHT = 50
+
+
+def _packet_label(packet: Packet) -> str:
+    body = ",".join(str(m) for m in packet.body)
+    label = f"{packet.header}"
+    if body:
+        label += f"[{body}]"
+    return label
+
+
+def _line(column: int, text: str) -> str:
+    return " " * column + text
+
+
+def render_msc(
+    trace: Sequence[Action],
+    t: str = "t",
+    r: str = "r",
+) -> str:
+    """Render an action sequence as an ASCII message sequence chart."""
+    lost_uids = _lost_packet_uids(trace)
+    lines: List[str] = [
+        f"{t + ' station':<{_WIRE}}{'wire':<{_RIGHT - _WIRE}}{r} station",
+        "-" * _WIDTH,
+    ]
+    for action in trace:
+        rendered = _render_action(action, t, r, lost_uids)
+        if rendered is not None:
+            lines.append(rendered)
+    return "\n".join(lines)
+
+
+def render_fragment(
+    fragment: ExecutionFragment, t: str = "t", r: str = "r"
+) -> str:
+    """Render a composed execution fragment (uses its full schedule)."""
+    return render_msc(fragment.actions, t, r)
+
+
+def _lost_packet_uids(trace: Sequence[Action]) -> Set[Tuple]:
+    """(direction, uid) pairs of packets sent but never received."""
+    sent: Set[Tuple] = set()
+    received: Set[Tuple] = set()
+    for action in trace:
+        if action.name == SEND_PKT:
+            sent.add((action.direction, action.payload.uid))
+        elif action.name == RECEIVE_PKT:
+            received.add((action.direction, action.payload.uid))
+    return sent - received
+
+
+def _render_action(
+    action: Action,
+    t: str,
+    r: str,
+    lost_uids: Set[Tuple],
+) -> Optional[str]:
+    direction = action.direction
+    towards_r = direction == (t, r)
+    if action.name == SEND_MSG:
+        return _line(_LEFT, f"send_msg({action.payload})")
+    if action.name == RECEIVE_MSG:
+        return _line(_RIGHT, f"receive_msg({action.payload})")
+    if action.name == WAKE or action.name == FAIL:
+        column = _LEFT if towards_r else _RIGHT
+        return _line(column, action.name)
+    if action.name == CRASH:
+        column = _LEFT if towards_r else _RIGHT
+        return _line(column, "CRASH")
+    if action.name == SEND_PKT:
+        label = _packet_label(action.payload)
+        lost = (direction, action.payload.uid) in lost_uids
+        marker = " (lost)" if lost else ""
+        if towards_r:
+            arrow_space = _RIGHT - _LEFT - len(label) - 2
+            return _line(
+                _LEFT, f"{label} {'-' * max(arrow_space, 2)}>{marker}"
+            )
+        arrow_space = _RIGHT - _WIRE - len(label) - 2
+        return _line(
+            _WIRE, f"<{'-' * max(arrow_space, 2)} {label}{marker}"
+        )
+    if action.name == RECEIVE_PKT:
+        column = _RIGHT if towards_r else _LEFT
+        return _line(column, f"(delivered {_packet_label(action.payload)})")
+    return _line(_WIRE, str(action))

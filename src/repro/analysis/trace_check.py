@@ -1,0 +1,93 @@
+"""One-stop trace analysis: run every layer property over a behavior.
+
+Produces a structured report listing, for each physical-layer and
+data-link-layer property, whether it holds and (if not) the witness.
+Used by tests, examples and the experiment harnesses to audit traces
+produced by simulations and by the impossibility engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..ioa.actions import Action
+from ..ioa.schedule_module import PropertyResult
+from ..channels.properties import (
+    pl1,
+    pl2,
+    pl3,
+    pl4,
+    pl5,
+    pl6_finite_diagnostic,
+    pl_well_formed,
+)
+from ..datalink.properties import (
+    dl1,
+    dl2,
+    dl3,
+    dl4,
+    dl5,
+    dl6,
+    dl7,
+    dl8,
+    dl_well_formed,
+    is_valid_sequence,
+)
+
+
+@dataclass
+class TraceReport:
+    """All property results for one trace."""
+
+    results: Dict[str, PropertyResult] = field(default_factory=dict)
+
+    def add(self, result: PropertyResult) -> None:
+        self.results[result.name] = result
+
+    @property
+    def violations(self) -> Tuple[PropertyResult, ...]:
+        return tuple(r for r in self.results.values() if not r.holds)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def holds(self, name: str) -> bool:
+        return self.results[name].holds
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.results):
+            result = self.results[name]
+            status = "ok" if result.holds else f"VIOLATED: {result.witness}"
+            lines.append(f"{name:16s} {status}")
+        return "\n".join(lines)
+
+
+def check_datalink_trace(
+    behavior: Sequence[Action],
+    t: str = "t",
+    r: str = "r",
+    quiescent: bool = True,
+) -> TraceReport:
+    """Evaluate well-formedness, (DL1)-(DL8) and validity on a behavior."""
+    report = TraceReport()
+    report.add(dl_well_formed(behavior, t, r))
+    for check in (dl1, dl2, dl3, dl4, dl5, dl6, dl7):
+        report.add(check(behavior, t, r))
+    report.add(dl8(behavior, t, r, quiescent=quiescent))
+    report.add(is_valid_sequence(behavior, t, r))
+    return report
+
+
+def check_physical_trace(
+    schedule: Sequence[Action], src: str, dst: str
+) -> TraceReport:
+    """Evaluate well-formedness and (PL1)-(PL6) on a channel schedule."""
+    report = TraceReport()
+    report.add(pl_well_formed(schedule, src, dst))
+    for check in (pl1, pl2, pl3, pl4, pl5):
+        report.add(check(schedule, src, dst))
+    report.add(pl6_finite_diagnostic(schedule, src, dst))
+    return report

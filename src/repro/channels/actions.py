@@ -1,0 +1,88 @@
+"""Physical-layer action constructors (paper, Section 3).
+
+The physical layer for endpoint pair ``(t, r)`` has input actions
+``send_pkt``, ``wake``, ``fail`` and ``crash`` (all superscripted
+``t,r``) and output actions ``receive_pkt``.  The ``wake``/``fail``/
+``crash`` actions are *shared* with the data link layer signature
+(Section 4): they are the same actions, which is how the composed system
+receives a single notification stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..alphabets import Packet
+from ..ioa.actions import Action, action_family, directed
+from ..ioa.signature import ActionSignature, FamilyKey
+
+SEND_PKT = "send_pkt"
+RECEIVE_PKT = "receive_pkt"
+WAKE = "wake"
+FAIL = "fail"
+CRASH = "crash"
+
+
+def send_pkt(src: str, dst: str, packet: Packet) -> Action:
+    """``send_pkt^{src,dst}(p)``: the sender hands ``p`` to the channel."""
+    return directed(SEND_PKT, src, dst, packet)
+
+
+def receive_pkt(src: str, dst: str, packet: Packet) -> Action:
+    """``receive_pkt^{src,dst}(p)``: the channel delivers ``p``."""
+    return directed(RECEIVE_PKT, src, dst, packet)
+
+
+def wake(src: str, dst: str) -> Action:
+    """``wake^{src,dst}``: the medium (direction src->dst) became active."""
+    return directed(WAKE, src, dst)
+
+
+def fail(src: str, dst: str) -> Action:
+    """``fail^{src,dst}``: the medium (direction src->dst) became inactive."""
+    return directed(FAIL, src, dst)
+
+
+def crash(src: str, dst: str) -> Action:
+    """``crash^{src,dst}``: station ``src`` suffered a hardware crash."""
+    return directed(CRASH, src, dst)
+
+
+def physical_layer_signature(src: str, dst: str) -> ActionSignature:
+    """``sig(PL^{src,dst})``: the physical-layer action signature."""
+    return ActionSignature.make(
+        inputs=[
+            action_family(SEND_PKT, src, dst),
+            action_family(WAKE, src, dst),
+            action_family(FAIL, src, dst),
+            action_family(CRASH, src, dst),
+        ],
+        outputs=[action_family(RECEIVE_PKT, src, dst)],
+    )
+
+
+def physical_families(src: str, dst: str) -> Tuple[FamilyKey, ...]:
+    """All physical-layer action families for the given direction."""
+    return (
+        action_family(SEND_PKT, src, dst),
+        action_family(RECEIVE_PKT, src, dst),
+        action_family(WAKE, src, dst),
+        action_family(FAIL, src, dst),
+        action_family(CRASH, src, dst),
+    )
+
+
+def packet_families(src: str, dst: str) -> Tuple[FamilyKey, ...]:
+    """The ``send_pkt``/``receive_pkt`` families hidden by ``hide_Phi``."""
+    return (
+        action_family(SEND_PKT, src, dst),
+        action_family(RECEIVE_PKT, src, dst),
+    )
+
+
+def is_send_pkt(action: Action, src: str, dst: str) -> bool:
+    return action.key == (SEND_PKT, (src, dst))
+
+
+def is_receive_pkt(action: Action, src: str, dst: str) -> bool:
+    return action.key == (RECEIVE_PKT, (src, dst))

@@ -1,0 +1,52 @@
+"""The schedule modules ``PL`` and ``PL-FIFO`` (paper, Section 3).
+
+``scheds(PL^{t,r})`` is the set of physical-layer action sequences
+satisfying "if well-formed and (PL1), (PL2) hold, then (PL3), (PL4) and
+(PL6) hold"; ``PL-FIFO`` additionally guarantees (PL5).  A *physical
+channel* is an automaton solving ``PL``; a *FIFO physical channel* one
+solving ``PL-FIFO``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Sequence
+
+from ..ioa.actions import Action
+from ..ioa.schedule_module import ScheduleModule
+from .actions import physical_layer_signature
+from .properties import pl1, pl2, pl3, pl4, pl5, pl6, pl_well_formed
+
+
+def pl_module(src: str, dst: str) -> ScheduleModule:
+    """The schedule module ``PL^{src,dst}``."""
+    return ScheduleModule(
+        name=f"PL^{src},{dst}",
+        signature=physical_layer_signature(src, dst),
+        assumptions=[
+            partial(pl_well_formed, src=src, dst=dst),
+            partial(pl1, src=src, dst=dst),
+            partial(pl2, src=src, dst=dst),
+        ],
+        guarantees=[
+            partial(pl3, src=src, dst=dst),
+            partial(pl4, src=src, dst=dst),
+            partial(pl6, src=src, dst=dst),
+        ],
+    )
+
+
+def pl_fifo_module(src: str, dst: str) -> ScheduleModule:
+    """The schedule module ``PL-FIFO^{src,dst}``."""
+    base = pl_module(src, dst)
+    return ScheduleModule(
+        name=f"PL-FIFO^{src},{dst}",
+        signature=base.signature,
+        assumptions=base.assumptions,
+        guarantees=[
+            partial(pl3, src=src, dst=dst),
+            partial(pl4, src=src, dst=dst),
+            partial(pl5, src=src, dst=dst),
+            partial(pl6, src=src, dst=dst),
+        ],
+    )

@@ -1,0 +1,133 @@
+"""A nondeterministic lossy FIFO channel for exhaustive exploration.
+
+The permissive channels of Section 6 resolve all nondeterminism in
+their start state (the delivery set), which suits the constructive
+engines but means one automaton instance explores one adversary.  For
+*exhaustive* bounded model checking we want the loss nondeterminism in
+the transition relation instead: this channel keeps a FIFO queue,
+delivers only the head, and may internally drop any queued packet at
+any time.  Its behaviors are exactly the failure-free PL-FIFO behaviors
+(loss anywhere, no reordering, no duplication), so exploring the
+composed system over it covers *every* lossy-FIFO adversary up to the
+chosen bounds.
+
+Used with :func:`repro.ioa.explorer.explore` to verify, e.g., that the
+alternating-bit protocol never duplicates or reorders under any loss
+pattern and any interleaving (and to find the counterexample for
+protocols that do).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Tuple
+
+from ..alphabets import Packet
+from ..ioa.actions import Action, action_family, directed
+from ..ioa.automaton import Automaton, State
+from ..ioa.signature import ActionSignature
+from .actions import (
+    CRASH,
+    FAIL,
+    RECEIVE_PKT,
+    SEND_PKT,
+    WAKE,
+    physical_layer_signature,
+    receive_pkt,
+)
+
+LOSE = "lose"
+
+
+class NondetLossyFifoChannel(Automaton):
+    """FIFO queue channel with internal, nondeterministic loss.
+
+    The ``lose`` action (internal, payload = queue position) removes a
+    queued packet; ``receive_pkt`` delivers the queue head.  Note that
+    under the *fair* executors the loss task is always enabled while
+    the queue is non-empty, so this channel is intended for bounded
+    exploration (where fairness is irrelevant), not for fair
+    simulation -- use the permissive channels there.
+    """
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        capacity: Optional[int] = None,
+        reorder_depth: int = 1,
+        name: Optional[str] = None,
+    ):
+        """``capacity`` bounds the queue for finite-state exploration:
+        a send arriving at a full queue is lost (finite buffer).
+
+        ``reorder_depth`` is the displacement bound: any of the first
+        ``reorder_depth`` queued packets may be delivered next.  Depth 1
+        is FIFO; a depth ``>= capacity`` yields arbitrary reordering up
+        to the buffer bound.  Exploring a composition over channels with
+        increasing depth maps a protocol's *exact* reordering tolerance
+        (cf. the paper's footnote 1).
+        """
+        self.src = src
+        self.dst = dst
+        self.capacity = capacity
+        if reorder_depth < 1:
+            raise ValueError("reorder_depth must be at least 1")
+        self.reorder_depth = reorder_depth
+        base = physical_layer_signature(src, dst)
+        self._signature = ActionSignature(
+            base.inputs,
+            base.outputs,
+            frozenset({action_family(LOSE, src, dst)}),
+        )
+        self.name = name or f"nondet-lossy[{src}->{dst}]"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    def initial_state(self) -> Tuple[Packet, ...]:
+        return ()
+
+    def transitions(
+        self, state: Tuple[Packet, ...], action: Action
+    ) -> Tuple[Tuple[Packet, ...], ...]:
+        if not self._signature.contains(action):
+            return ()
+        if action.name == SEND_PKT:
+            if self.capacity is not None and len(state) >= self.capacity:
+                return (state,)  # full buffer: the packet is lost
+            return (state + (action.payload,),)
+        if action.name == RECEIVE_PKT:
+            results = []
+            for position in range(min(self.reorder_depth, len(state))):
+                if state[position] == action.payload:
+                    results.append(
+                        state[:position] + state[position + 1 :]
+                    )
+            return tuple(results)
+        if action.name == LOSE:
+            position = action.payload
+            if isinstance(position, int) and 0 <= position < len(state):
+                return (state[:position] + state[position + 1 :],)
+            return ()
+        if action.name in (WAKE, FAIL, CRASH):
+            return (state,)
+        return ()
+
+    def enabled_local_actions(
+        self, state: Tuple[Packet, ...]
+    ) -> Iterable[Action]:
+        seen = set()
+        for position in range(min(self.reorder_depth, len(state))):
+            packet = state[position]
+            if packet not in seen:
+                seen.add(packet)
+                yield receive_pkt(self.src, self.dst, packet)
+        for position in range(len(state)):
+            yield directed(LOSE, self.src, self.dst, position)
+
+    def task_of(self, action: Action) -> Hashable:
+        return (self.name, action.name)
+
+    def tasks(self) -> Iterable[Hashable]:
+        return [(self.name, RECEIVE_PKT), (self.name, LOSE)]

@@ -1,0 +1,275 @@
+"""Physical-layer trace properties (paper, Section 3).
+
+Executable forms of well-formedness, working intervals and properties
+(PL1)-(PL6) over finite sequences of physical-layer actions.  Every
+predicate returns a :class:`~repro.ioa.schedule_module.PropertyResult`
+carrying a violation witness when it fails.
+
+Liveness caveat: (PL6) constrains only infinite behaviors ("if infinitely
+many send events occur ...").  On a finite sequence its hypothesis is
+never met, so the checker returns success; the analysis layer offers a
+stronger finite-trace diagnostic for quiescent executions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..ioa.actions import Action
+from ..ioa.schedule_module import PropertyResult
+from .actions import CRASH, FAIL, RECEIVE_PKT, SEND_PKT, WAKE
+
+Interval = Tuple[int, int]  # [start, end) in event indices
+
+
+# ----------------------------------------------------------------------
+# Interval machinery (shared with the data-link layer)
+# ----------------------------------------------------------------------
+
+
+def crash_intervals(
+    schedule: Sequence[Action], crash_direction: Tuple[str, str]
+) -> List[Interval]:
+    """Maximal contiguous index ranges containing no crash event.
+
+    The crash events themselves belong to no interval; intervals are
+    returned as half-open ``[start, end)`` ranges and may be empty.
+    """
+    intervals: List[Interval] = []
+    start = 0
+    for index, action in enumerate(schedule):
+        if action.key == (CRASH, crash_direction):
+            intervals.append((start, index))
+            start = index + 1
+    intervals.append((start, len(schedule)))
+    return intervals
+
+
+def alternation_well_formed(
+    schedule: Sequence[Action], direction: Tuple[str, str]
+) -> Optional[int]:
+    """Check strict wake/fail alternation within each crash interval.
+
+    Within every crash interval (delimited by ``crash`` events for
+    ``direction``), the ``fail`` and ``wake`` events for ``direction``
+    must alternate strictly, starting with ``wake``.  Returns the index
+    of the first offending event, or None if well-formed.
+    """
+    expect_wake = True
+    for index, action in enumerate(schedule):
+        if action.key == (CRASH, direction):
+            expect_wake = True
+        elif action.key == (WAKE, direction):
+            if not expect_wake:
+                return index
+            expect_wake = False
+        elif action.key == (FAIL, direction):
+            if expect_wake:
+                return index
+            expect_wake = True
+    return None
+
+
+def working_intervals(
+    schedule: Sequence[Action], direction: Tuple[str, str]
+) -> List[Interval]:
+    """Working intervals for ``direction`` in a well-formed sequence.
+
+    Each runs from just after a ``wake`` event to just before the next
+    ``fail`` or ``crash`` event (or the end of the sequence), excluding
+    the delimiting events themselves.
+    """
+    intervals: List[Interval] = []
+    open_start: Optional[int] = None
+    for index, action in enumerate(schedule):
+        if action.key == (WAKE, direction):
+            open_start = index + 1
+        elif action.key in ((FAIL, direction), (CRASH, direction)):
+            if open_start is not None:
+                intervals.append((open_start, index))
+                open_start = None
+    if open_start is not None:
+        intervals.append((open_start, len(schedule)))
+    return intervals
+
+
+def unbounded_working_interval(
+    schedule: Sequence[Action], direction: Tuple[str, str]
+) -> Optional[Interval]:
+    """The unbounded working interval, if the sequence has one.
+
+    For a finite sequence this is the suffix following a ``wake`` event
+    with no later ``fail`` or ``crash`` event for ``direction`` -- the
+    natural finite rendering of the paper's definition (the executions
+    built by the engines are exactly of this shape).
+    """
+    last_wake: Optional[int] = None
+    for index, action in enumerate(schedule):
+        if action.key == (WAKE, direction):
+            last_wake = index
+        elif action.key in ((FAIL, direction), (CRASH, direction)):
+            last_wake = None
+    if last_wake is None:
+        return None
+    return (last_wake + 1, len(schedule))
+
+
+def index_in_intervals(index: int, intervals: Iterable[Interval]) -> bool:
+    return any(start <= index < end for start, end in intervals)
+
+
+# ----------------------------------------------------------------------
+# Well-formedness and (PL1)-(PL6)
+# ----------------------------------------------------------------------
+
+
+def pl_well_formed(
+    schedule: Sequence[Action], src: str, dst: str
+) -> PropertyResult:
+    """Physical-layer well-formedness (Section 3)."""
+    offending = alternation_well_formed(schedule, (src, dst))
+    if offending is None:
+        return PropertyResult.ok("PL-well-formed")
+    return PropertyResult.violated(
+        "PL-well-formed",
+        f"event {offending} ({schedule[offending]}) breaks the strict "
+        "wake/fail alternation",
+    )
+
+
+def pl1(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL1): every ``send_pkt`` event occurs in a working interval."""
+    intervals = working_intervals(schedule, (src, dst))
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_PKT, (src, dst)) and not index_in_intervals(
+            index, intervals
+        ):
+            return PropertyResult.violated(
+                "PL1",
+                f"send_pkt at event {index} lies outside every working "
+                "interval",
+            )
+    return PropertyResult.ok("PL1")
+
+
+def pl2(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL2): every packet is sent at most once."""
+    seen = {}
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_PKT, (src, dst)):
+            packet = action.payload
+            if packet in seen:
+                return PropertyResult.violated(
+                    "PL2",
+                    f"packet {packet} sent at events {seen[packet]} and "
+                    f"{index}",
+                )
+            seen[packet] = index
+    return PropertyResult.ok("PL2")
+
+
+def pl3(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL3): every packet is received at most once."""
+    seen = {}
+    for index, action in enumerate(schedule):
+        if action.key == (RECEIVE_PKT, (src, dst)):
+            packet = action.payload
+            if packet in seen:
+                return PropertyResult.violated(
+                    "PL3",
+                    f"packet {packet} received at events {seen[packet]} "
+                    f"and {index}",
+                )
+            seen[packet] = index
+    return PropertyResult.ok("PL3")
+
+
+def pl4(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL4): every receive is preceded by a send of the same packet."""
+    sent = set()
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_PKT, (src, dst)):
+            sent.add(action.payload)
+        elif action.key == (RECEIVE_PKT, (src, dst)):
+            if action.payload not in sent:
+                return PropertyResult.violated(
+                    "PL4",
+                    f"packet {action.payload} received at event {index} "
+                    "without a preceding send",
+                )
+    return PropertyResult.ok("PL4")
+
+
+def pl5(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL5), FIFO: delivered packets are received in send order.
+
+    Assumes (PL2)/(PL3) so that each packet identifies unique send and
+    receive events.
+    """
+    send_order = {}
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_PKT, (src, dst)):
+            send_order.setdefault(action.payload, index)
+    last_send_index = -1
+    last_packet = None
+    for index, action in enumerate(schedule):
+        if action.key == (RECEIVE_PKT, (src, dst)):
+            packet = action.payload
+            send_index = send_order.get(packet)
+            if send_index is None:
+                continue  # PL4's concern, not FIFO's
+            if send_index < last_send_index:
+                return PropertyResult.violated(
+                    "PL5",
+                    f"packet {packet} (sent at {send_index}) received at "
+                    f"event {index} after {last_packet} (sent at "
+                    f"{last_send_index}): out of FIFO order",
+                )
+            last_send_index = send_index
+            last_packet = packet
+    return PropertyResult.ok("PL5")
+
+
+def pl6(schedule: Sequence[Action], src: str, dst: str) -> PropertyResult:
+    """(PL6) liveness: vacuous over finite sequences.
+
+    The property's hypothesis requires infinitely many ``send_pkt``
+    events, which no finite sequence has; see
+    :func:`pl6_finite_diagnostic` for the quiescent-trace analogue.
+    """
+    return PropertyResult.ok("PL6")
+
+
+def pl6_finite_diagnostic(
+    schedule: Sequence[Action], src: str, dst: str
+) -> PropertyResult:
+    """Finite-trace liveness diagnostic for quiescent executions.
+
+    For an execution that has quiesced: if the trace ends in an unbounded
+    working interval during which packets were sent but none was ever
+    received, a fair infinite extension repeating such sends would
+    violate (PL6).  Useful for flagging dead channels in simulation.
+    """
+    interval = unbounded_working_interval(schedule, (src, dst))
+    if interval is None:
+        return PropertyResult.ok("PL6-finite")
+    start, end = interval
+    sends = [
+        i
+        for i in range(start, end)
+        if schedule[i].key == (SEND_PKT, (src, dst))
+    ]
+    if not sends:
+        return PropertyResult.ok("PL6-finite")
+    receives = [
+        i
+        for i in range(sends[0], end)
+        if schedule[i].key == (RECEIVE_PKT, (src, dst))
+    ]
+    if receives:
+        return PropertyResult.ok("PL6-finite")
+    return PropertyResult.violated(
+        "PL6-finite",
+        f"{len(sends)} packets sent in the unbounded working interval "
+        "but none received",
+    )

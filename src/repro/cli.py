@@ -1,0 +1,376 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``list``
+    List the available protocols.
+``check PROTOCOL``
+    Run the hypothesis checkers (message-independence, crashing,
+    k-boundedness probe, header space) against a protocol.
+``refute-crash PROTOCOL``
+    Run the Theorem 7.5 construction and print the certificate.
+``refute-headers PROTOCOL``
+    Run the Theorem 8.5 construction and print the certificate.
+``simulate PROTOCOL``
+    Run a seeded scenario over lossy/reordering channels and audit the
+    behavior against the DL specification (``--msc`` renders a chart).
+``verify PROTOCOL``
+    Exhaustive bounded model check: every loss pattern and interleaving
+    at small bounds (``--reorder-depth`` maps reordering tolerance).
+``experiments``
+    Run the experiment suite (E1...) and print/write the result tables.
+``growth PROTOCOL``
+    Measure distinct-header growth (the Section 9 contrast).
+
+Protocols are named as in ``list``; parameterized families take an
+argument after a colon, e.g. ``sliding-window:4``, ``mod-stenning:8``,
+``fragmenting:2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .alphabets import MessageFactory
+from .analysis import check_datalink_trace, measure_header_growth
+from .channels import lossy_fifo_channel, reordering_channel
+from .datalink import (
+    check_crashing,
+    check_message_independence,
+    probe_k_bound,
+)
+from .datalink.protocol import DataLinkProtocol
+from .impossibility import (
+    EngineError,
+    refute_bounded_headers,
+    refute_crash_tolerance,
+)
+from .protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    direct_protocol,
+    eager_protocol,
+    fragmenting_protocol,
+    modulo_stenning_protocol,
+    selective_repeat_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+from .sim import DataLinkSystem, FaultPlan, delivery_stats, generate_script
+from .sim.runner import run_scenario
+
+#: name -> (factory taking an optional integer parameter, description)
+REGISTRY: Dict[str, Callable[[Optional[int]], DataLinkProtocol]] = {
+    "abp": lambda p: alternating_bit_protocol(),
+    "sliding-window": lambda p: sliding_window_protocol(p or 2),
+    "stenning": lambda p: stenning_protocol(),
+    "mod-stenning": lambda p: modulo_stenning_protocol(p or 4),
+    "baratz-segall": lambda p: baratz_segall_protocol(nonvolatile=True),
+    "baratz-segall-volatile": lambda p: baratz_segall_protocol(
+        nonvolatile=False
+    ),
+    "fragmenting": lambda p: fragmenting_protocol(
+        chunk=p or 1, max_fragments=3
+    ),
+    "selective-repeat": lambda p: selective_repeat_protocol(p or 2),
+    "naive-direct": lambda p: direct_protocol(),
+    "naive-eager": lambda p: eager_protocol(),
+}
+
+
+def resolve_protocol(spec: str) -> DataLinkProtocol:
+    """Build a protocol from a ``name`` or ``name:param`` spec."""
+    name, _, param = spec.partition(":")
+    if name not in REGISTRY:
+        raise SystemExit(
+            f"unknown protocol {name!r}; available: "
+            + ", ".join(sorted(REGISTRY))
+        )
+    parameter = int(param) if param else None
+    return REGISTRY[name](parameter)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(REGISTRY):
+        protocol = REGISTRY[name](None)
+        print(f"{name:24s} {protocol.description}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol)
+    print(f"protocol: {protocol.name}")
+    independence = check_message_independence(protocol)
+    print(
+        "message-independent: "
+        + ("yes" if independence.independent else f"NO ({independence.detail})")
+    )
+    crashing = check_crashing(protocol)
+    print(
+        f"crashing (loses all state on crash): "
+        + ("yes" if crashing.crashing else f"no ({crashing.detail})")
+    )
+    headers = protocol.header_space()
+    print(
+        "header space: "
+        + ("unbounded" if headers is None else f"{len(headers)} headers")
+    )
+    k_report = probe_k_bound(protocol)
+    if k_report.delivered:
+        print(f"k-boundedness probe: k = {k_report.k}")
+    else:
+        print(f"k-boundedness probe: FAILED ({k_report.detail})")
+    return 0
+
+
+def _print_certificate(certificate, as_json: bool = False) -> int:
+    if as_json:
+        import json
+
+        print(json.dumps(certificate.to_dict(), indent=2))
+        return 0 if certificate.validate() else 1
+    print(certificate.describe())
+    ok = certificate.validate()
+    print(f"\nindependently validated: {ok}")
+    return 0 if ok else 1
+
+
+def cmd_refute_crash(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol)
+    try:
+        certificate = refute_crash_tolerance(
+            protocol, message_size=args.message_size
+        )
+    except EngineError as exc:
+        print(f"engine rejected the protocol: {exc}")
+        return 2
+    return _print_certificate(certificate, args.json)
+
+
+def cmd_refute_headers(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol)
+    try:
+        certificate = refute_bounded_headers(
+            protocol, k=args.k, message_size=args.message_size
+        )
+    except EngineError as exc:
+        print(f"engine rejected the protocol: {exc}")
+        return 2
+    return _print_certificate(certificate, args.json)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol)
+    if args.reorder > 1:
+        build = lambda src, dst, seed: reordering_channel(  # noqa: E731
+            src, dst, seed=seed, loss_rate=args.loss, window=args.reorder
+        )
+    else:
+        build = lambda src, dst, seed: lossy_fifo_channel(  # noqa: E731
+            src, dst, seed=seed, loss_rate=args.loss
+        )
+    system = DataLinkSystem.build(
+        protocol,
+        build("t", "r", args.seed),
+        build("r", "t", args.seed + 1),
+    )
+    plan = FaultPlan(
+        messages=args.messages,
+        crash_probability=0.15 if args.crashes else 0.0,
+        seed=args.seed,
+    )
+    script = generate_script(system, plan)
+    result = run_scenario(system, script.actions, seed=args.seed)
+    stats = delivery_stats(result.fragment)
+    print(
+        f"sent {stats.sent}, delivered {stats.delivered}, duplicates "
+        f"{stats.duplicates}, steps {result.steps}, quiescent "
+        f"{result.quiescent}"
+    )
+    if args.msc:
+        from .analysis import render_fragment
+
+        print()
+        print(render_fragment(result.fragment))
+    report = check_datalink_trace(
+        result.behavior, quiescent=result.quiescent
+    )
+    print()
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis import verify_delivery_order
+
+    protocol = resolve_protocol(args.protocol)
+    result = verify_delivery_order(
+        protocol,
+        messages=args.messages,
+        capacity=args.capacity,
+        reorder_depth=args.reorder_depth,
+    )
+    scope = "exhaustive" if result.exhaustive else "TRUNCATED"
+    kind = (
+        "FIFO"
+        if args.reorder_depth == 1
+        else f"depth-{args.reorder_depth} reordering"
+    )
+    print(
+        f"explored {result.states_explored} states ({scope}) for "
+        f"{args.messages} messages over capacity-{args.capacity} "
+        f"nondeterministic lossy {kind} channels"
+    )
+    if result.ok:
+        print("invariant holds: in-order, exactly-once delivery")
+        return 0
+    print("counterexample found:")
+    for index, action in enumerate(result.counterexample):
+        print(f"  {index}: {action}")
+    return 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis import run_all, to_markdown, to_text
+
+    tables = run_all(only=args.only or None)
+    rendered = (
+        to_markdown(tables) if args.format == "markdown" else to_text(tables)
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    protocol = resolve_protocol(args.protocol)
+    series = measure_header_growth(
+        protocol, checkpoints=tuple(args.checkpoints)
+    )
+    print(f"{'messages':>8s} {'distinct headers':>16s}")
+    for point in series.points:
+        print(f"{point.messages:8d} {point.total_distinct:16d}")
+    print(f"slope: {series.slope_estimate():.2f} headers/message")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of Lynch, Mansour & Fekete (1988), "
+            "'The Data Link Layer: Two Impossibility Results'."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available protocols").set_defaults(
+        run=cmd_list
+    )
+
+    check = sub.add_parser(
+        "check", help="run the theorem-hypothesis checkers"
+    )
+    check.add_argument("protocol")
+    check.set_defaults(run=cmd_check)
+
+    crash = sub.add_parser(
+        "refute-crash", help="run the Theorem 7.5 construction"
+    )
+    crash.add_argument("protocol")
+    crash.add_argument("--message-size", type=int, default=0)
+    crash.add_argument("--json", action="store_true")
+    crash.set_defaults(run=cmd_refute_crash)
+
+    headers = sub.add_parser(
+        "refute-headers", help="run the Theorem 8.5 construction"
+    )
+    headers.add_argument("protocol")
+    headers.add_argument("--k", type=int, default=None)
+    headers.add_argument("--message-size", type=int, default=0)
+    headers.add_argument("--json", action="store_true")
+    headers.set_defaults(run=cmd_refute_headers)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a seeded scenario and audit the trace"
+    )
+    simulate.add_argument("protocol")
+    simulate.add_argument("--messages", type=int, default=10)
+    simulate.add_argument("--loss", type=float, default=0.2)
+    simulate.add_argument(
+        "--reorder",
+        type=int,
+        default=1,
+        help="reordering window (1 = FIFO)",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--crashes", action="store_true", help="inject host crashes"
+    )
+    simulate.add_argument(
+        "--msc",
+        action="store_true",
+        help="render the run as a message sequence chart",
+    )
+    simulate.set_defaults(run=cmd_simulate)
+
+    verify = sub.add_parser(
+        "verify",
+        help="exhaustive bounded model check of delivery correctness",
+    )
+    verify.add_argument("protocol")
+    verify.add_argument("--messages", type=int, default=2)
+    verify.add_argument("--capacity", type=int, default=2)
+    verify.add_argument(
+        "--reorder-depth",
+        type=int,
+        default=1,
+        help="delivery displacement bound (1 = FIFO)",
+    )
+    verify.set_defaults(run=cmd_verify)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the experiment suite and print tables"
+    )
+    experiments.add_argument(
+        "--only",
+        nargs="+",
+        metavar="ID",
+        help="run a subset, e.g. --only E1 E2",
+    )
+    experiments.add_argument(
+        "--format", choices=["text", "markdown"], default="text"
+    )
+    experiments.add_argument("--output", help="write to a file")
+    experiments.set_defaults(run=cmd_experiments)
+
+    growth = sub.add_parser(
+        "growth", help="measure distinct-header growth"
+    )
+    growth.add_argument("protocol")
+    growth.add_argument(
+        "--checkpoints",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8, 16, 32],
+    )
+    growth.set_defaults(run=cmd_growth)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The schedule modules ``DL`` and ``WDL`` (paper, Section 4).
+
+``scheds(DL^{t,r})``: if the sequence is well-formed and satisfies
+(DL1)-(DL3), then it satisfies (DL4)-(DL8).
+
+``scheds(WDL^{t,r})`` (the weak specification used by both impossibility
+results): under the same assumptions, only (DL4), (DL5) and (DL8) are
+guaranteed.  ``scheds(DL) <= scheds(WDL)``, so impossibility for ``WDL``
+implies impossibility for ``DL``.
+
+The liveness guarantee (DL8) is evaluated with quiescent-trace semantics
+(see :mod:`repro.datalink.properties`); pass ``quiescent=False`` for
+checking non-quiescent prefixes, where only the safety guarantees apply.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..ioa.schedule_module import ScheduleModule
+from .actions import data_link_signature
+from .properties import dl1, dl2, dl3, dl4, dl5, dl6, dl7, dl8, dl_well_formed
+
+
+def dl_module(t: str, r: str, quiescent: bool = True) -> ScheduleModule:
+    """The schedule module ``DL^{t,r}``."""
+    return ScheduleModule(
+        name=f"DL^{t},{r}",
+        signature=data_link_signature(t, r),
+        assumptions=[
+            partial(dl_well_formed, t=t, r=r),
+            partial(dl1, t=t, r=r),
+            partial(dl2, t=t, r=r),
+            partial(dl3, t=t, r=r),
+        ],
+        guarantees=[
+            partial(dl4, t=t, r=r),
+            partial(dl5, t=t, r=r),
+            partial(dl6, t=t, r=r),
+            partial(dl7, t=t, r=r),
+            partial(dl8, t=t, r=r, quiescent=quiescent),
+        ],
+    )
+
+
+def wdl_module(t: str, r: str, quiescent: bool = True) -> ScheduleModule:
+    """The weak schedule module ``WDL^{t,r}`` (Section 4).
+
+    Adequate for both impossibility proofs: guarantees only (DL4), (DL5)
+    and (DL8).
+    """
+    return ScheduleModule(
+        name=f"WDL^{t},{r}",
+        signature=data_link_signature(t, r),
+        assumptions=[
+            partial(dl_well_formed, t=t, r=r),
+            partial(dl1, t=t, r=r),
+            partial(dl2, t=t, r=r),
+            partial(dl3, t=t, r=r),
+        ],
+        guarantees=[
+            partial(dl4, t=t, r=r),
+            partial(dl5, t=t, r=r),
+            partial(dl8, t=t, r=r, quiescent=quiescent),
+        ],
+    )

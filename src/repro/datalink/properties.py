@@ -1,0 +1,249 @@
+"""Data-link-layer trace properties (DL1)-(DL8) and validity (Sections 4, 8.1).
+
+All predicates operate on finite sequences of data-link-layer actions for
+an endpoint pair ``(t, r)`` and return structured
+:class:`~repro.ioa.schedule_module.PropertyResult` values.
+
+Finite-trace semantics of the liveness property (DL8): the engines and
+harnesses in this repository always evaluate (DL8) on *quiescent* traces
+-- finite fair executions, which determine a unique "nothing further
+happens" infinite extension.  On such traces (DL8) becomes checkable:
+every ``send_msg`` occurring in the unbounded transmitter working
+interval must have a matching ``receive_msg`` in the trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..ioa.actions import Action
+from ..ioa.schedule_module import PropertyResult
+from ..channels.actions import CRASH, FAIL, WAKE
+from ..channels.properties import (
+    alternation_well_formed,
+    index_in_intervals,
+    unbounded_working_interval,
+    working_intervals,
+)
+from .actions import RECEIVE_MSG, SEND_MSG
+
+
+def dl_well_formed(
+    schedule: Sequence[Action], t: str, r: str
+) -> PropertyResult:
+    """Well-formedness for data-link sequences (Section 4).
+
+    Strict wake/fail alternation starting with wake, per direction, with
+    that direction's crash events as delimiters.
+    """
+    for direction, label in (((t, r), "transmitter"), ((r, t), "receiver")):
+        offending = alternation_well_formed(schedule, direction)
+        if offending is not None:
+            return PropertyResult.violated(
+                "DL-well-formed",
+                f"{label} event {offending} ({schedule[offending]}) breaks "
+                "the strict wake/fail alternation",
+            )
+    return PropertyResult.ok("DL-well-formed")
+
+
+def dl1(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL1): unbounded transmitter and receiver working intervals coexist."""
+    transmitter = unbounded_working_interval(schedule, (t, r))
+    receiver = unbounded_working_interval(schedule, (r, t))
+    if (transmitter is None) == (receiver is None):
+        return PropertyResult.ok("DL1")
+    side = "transmitter" if transmitter is not None else "receiver"
+    return PropertyResult.violated(
+        "DL1",
+        f"only the {side} side has an unbounded working interval",
+    )
+
+
+def dl2(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL2): every send_msg occurs in a transmitter working interval."""
+    intervals = working_intervals(schedule, (t, r))
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_MSG, (t, r)) and not index_in_intervals(
+            index, intervals
+        ):
+            return PropertyResult.violated(
+                "DL2",
+                f"send_msg at event {index} lies outside every transmitter "
+                "working interval",
+            )
+    return PropertyResult.ok("DL2")
+
+
+def dl3(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL3): every message is sent at most once."""
+    seen = {}
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_MSG, (t, r)):
+            message = action.payload
+            if message in seen:
+                return PropertyResult.violated(
+                    "DL3",
+                    f"message {message} sent at events {seen[message]} and "
+                    f"{index}",
+                )
+            seen[message] = index
+    return PropertyResult.ok("DL3")
+
+
+def dl4(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL4): every message is received at most once."""
+    seen = {}
+    for index, action in enumerate(schedule):
+        if action.key == (RECEIVE_MSG, (t, r)):
+            message = action.payload
+            if message in seen:
+                return PropertyResult.violated(
+                    "DL4",
+                    f"message {message} received at events {seen[message]} "
+                    f"and {index}",
+                )
+            seen[message] = index
+    return PropertyResult.ok("DL4")
+
+
+def dl5(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL5): every receive_msg is preceded by a send_msg of the message."""
+    sent = set()
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_MSG, (t, r)):
+            sent.add(action.payload)
+        elif action.key == (RECEIVE_MSG, (t, r)):
+            if action.payload not in sent:
+                return PropertyResult.violated(
+                    "DL5",
+                    f"message {action.payload} received at event {index} "
+                    "without a preceding send_msg",
+                )
+    return PropertyResult.ok("DL5")
+
+
+def dl6(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL6), FIFO: delivered messages arrive in the order they were sent."""
+    send_order = {}
+    for index, action in enumerate(schedule):
+        if action.key == (SEND_MSG, (t, r)):
+            send_order.setdefault(action.payload, index)
+    last_send_index = -1
+    last_message = None
+    for index, action in enumerate(schedule):
+        if action.key == (RECEIVE_MSG, (t, r)):
+            message = action.payload
+            send_index = send_order.get(message)
+            if send_index is None:
+                continue  # DL5's concern
+            if send_index < last_send_index:
+                return PropertyResult.violated(
+                    "DL6",
+                    f"message {message} (sent at {send_index}) received at "
+                    f"event {index} after {last_message} (sent at "
+                    f"{last_send_index}): out of FIFO order",
+                )
+            last_send_index = send_index
+            last_message = message
+    return PropertyResult.ok("DL6")
+
+
+def dl7(schedule: Sequence[Action], t: str, r: str) -> PropertyResult:
+    """(DL7): no gaps within a single transmitter working interval.
+
+    If ``m`` is sent before ``m'`` in the same working interval and
+    ``m'`` is received, then ``m`` must be received too.
+    """
+    received = {
+        action.payload
+        for action in schedule
+        if action.key == (RECEIVE_MSG, (t, r))
+    }
+    for start, end in working_intervals(schedule, (t, r)):
+        interval_sends: List[Tuple[int, object]] = [
+            (index, schedule[index].payload)
+            for index in range(start, end)
+            if schedule[index].key == (SEND_MSG, (t, r))
+        ]
+        # Walk backwards: once some later message is received, all
+        # earlier ones must be.
+        later_received: Optional[Tuple[int, object]] = None
+        for index, message in reversed(interval_sends):
+            if message in received:
+                later_received = (index, message)
+            elif later_received is not None:
+                return PropertyResult.violated(
+                    "DL7",
+                    f"message {message} (sent at {index}) was lost while "
+                    f"{later_received[1]} (sent at {later_received[0]}, "
+                    "same working interval) was delivered",
+                )
+    return PropertyResult.ok("DL7")
+
+
+def dl8(
+    schedule: Sequence[Action], t: str, r: str, quiescent: bool = True
+) -> PropertyResult:
+    """(DL8) liveness, evaluated on a quiescent finite trace.
+
+    Every message sent in the unbounded transmitter working interval must
+    be received.  With ``quiescent=False`` the check is skipped (a
+    non-quiescent finite prefix cannot witness a liveness violation).
+    """
+    if not quiescent:
+        return PropertyResult.ok("DL8")
+    interval = unbounded_working_interval(schedule, (t, r))
+    if interval is None:
+        return PropertyResult.ok("DL8")
+    received = {
+        action.payload
+        for action in schedule
+        if action.key == (RECEIVE_MSG, (t, r))
+    }
+    start, end = interval
+    for index in range(start, end):
+        action = schedule[index]
+        if action.key == (SEND_MSG, (t, r)) and action.payload not in received:
+            return PropertyResult.violated(
+                "DL8",
+                f"message {action.payload} sent at event {index} in the "
+                "unbounded transmitter working interval was never received",
+            )
+    return PropertyResult.ok("DL8")
+
+
+# ----------------------------------------------------------------------
+# Validity (Section 8.1)
+# ----------------------------------------------------------------------
+
+
+def is_valid_sequence(
+    schedule: Sequence[Action], t: str, r: str
+) -> PropertyResult:
+    """Validity of a data-link action sequence (Section 8.1).
+
+    ``beta`` is valid iff (1) it is well-formed, (2) it satisfies (DL1)-
+    (DL5) and (DL8), and (3) a wake event, but no fail or crash events,
+    occurs in it.  Since there are no fail/crash events, the working
+    intervals are unbounded and (DL8) reduces to "every message sent is
+    received" (Lemma 8.1) -- evaluated here on the quiescent reading.
+    """
+    has_wake = False
+    for index, action in enumerate(schedule):
+        if action.name == WAKE:
+            has_wake = True
+        elif action.name in (FAIL, CRASH):
+            return PropertyResult.violated(
+                "valid",
+                f"fail/crash event at {index}: valid sequences contain none",
+            )
+    if not has_wake:
+        return PropertyResult.violated("valid", "no wake event occurs")
+    for check in (dl_well_formed, dl1, dl2, dl3, dl4, dl5, dl8):
+        result = check(schedule, t, r)
+        if not result.holds:
+            return PropertyResult.violated(
+                "valid", f"{result.name} fails: {result.witness}"
+            )
+    return PropertyResult.ok("valid")

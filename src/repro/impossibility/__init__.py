@@ -1,0 +1,23 @@
+"""The paper's two impossibility results, as constructive engines."""
+
+from .certificates import (
+    DUPLICATE_DELIVERY,
+    LIVENESS,
+    UNSENT_DELIVERY,
+    EngineError,
+    ViolationCertificate,
+)
+from .crash_engine import CrashImpossibilityEngine, refute_crash_tolerance
+from .header_engine import BoundedHeaderEngine, refute_bounded_headers
+
+__all__ = [
+    "BoundedHeaderEngine",
+    "CrashImpossibilityEngine",
+    "DUPLICATE_DELIVERY",
+    "EngineError",
+    "LIVENESS",
+    "UNSENT_DELIVERY",
+    "ViolationCertificate",
+    "refute_bounded_headers",
+    "refute_crash_tolerance",
+]

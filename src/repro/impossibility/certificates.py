@@ -1,0 +1,124 @@
+"""Violation certificates: machine-checkable outputs of the engines.
+
+Each impossibility engine takes a concrete protocol satisfying a
+theorem's hypotheses and *constructs* an execution of the composed
+system whose behavior is well-formed, satisfies the environment
+obligations (DL1)-(DL3), and violates one of the ``WDL`` guarantees
+(DL4), (DL5) or (DL8).  The certificate packages that behavior together
+with a construction narrative; :meth:`ViolationCertificate.validate`
+re-checks the violation from scratch using the independent trace
+checkers, so trusting a certificate does not require trusting the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..ioa.actions import Action
+from ..datalink.modules import wdl_module
+
+# Certificate kinds.
+DUPLICATE_DELIVERY = "duplicate-delivery"  # violates (DL4)
+UNSENT_DELIVERY = "unsent-delivery"  # violates (DL5)
+LIVENESS = "liveness"  # violates (DL8) on a quiescent trace
+
+
+class EngineError(RuntimeError):
+    """The construction could not proceed.
+
+    Raised when a protocol violates a hypothesis the engine relies on
+    mid-construction (e.g. a replay step finds no equivalent enabled
+    action, contradicting message-independence).
+    """
+
+
+@dataclass
+class ViolationCertificate:
+    """A checked counterexample to weak correctness.
+
+    ``behavior`` is a finite data-link-layer behavior of the composed
+    system ``D'(A)`` (a fair one: the engines always end at quiescence
+    or truncate a fair extension whose remaining actions are outputs
+    only, matching the paper's use of Lemma 2.1).
+    """
+
+    protocol_name: str
+    theorem: str
+    kind: str
+    behavior: Tuple[Action, ...]
+    violated: Tuple[str, ...]
+    narrative: Tuple[str, ...] = ()
+    stats: Dict[str, int] = field(default_factory=dict)
+    t: str = "t"
+    r: str = "r"
+
+    def validate(self) -> bool:
+        """Independently re-check that the behavior violates ``WDL``.
+
+        Returns True iff the behavior satisfies the environment
+        assumptions (well-formedness, (DL1)-(DL3)) *and* fails at least
+        one ``WDL`` guarantee -- i.e. it genuinely witnesses that the
+        composed system does not solve ``WDL^{t,r}``.
+        """
+        verdict = wdl_module(self.t, self.r, quiescent=True).check(
+            self.behavior
+        )
+        return not verdict.in_module and not verdict.vacuous
+
+    def violated_properties(self) -> Tuple[str, ...]:
+        """The guarantee properties the behavior fails, re-derived."""
+        verdict = wdl_module(self.t, self.r, quiescent=True).check(
+            self.behavior
+        )
+        return tuple(f.name for f in verdict.failures)
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable rendering of the certificate.
+
+        Actions become ``{name, direction, payload}`` objects with
+        payloads rendered via ``str`` (messages and packets have stable
+        textual forms), so certificates can be archived and diffed.
+        """
+        return {
+            "protocol": self.protocol_name,
+            "theorem": self.theorem,
+            "kind": self.kind,
+            "violated": list(self.violated),
+            "endpoints": [self.t, self.r],
+            "behavior": [
+                {
+                    "name": action.name,
+                    "direction": list(action.direction)
+                    if action.direction
+                    else None,
+                    "payload": None
+                    if action.payload is None
+                    else str(action.payload),
+                }
+                for action in self.behavior
+            ],
+            "narrative": list(self.narrative),
+            "stats": dict(self.stats),
+            "validated": self.validate(),
+        }
+
+    def describe(self) -> str:
+        """Human-readable rendering of the certificate."""
+        lines = [
+            f"Violation certificate ({self.theorem}) for protocol "
+            f"{self.protocol_name!r}",
+            f"  kind: {self.kind}; violated: {', '.join(self.violated)}",
+            "  behavior:",
+        ]
+        lines.extend(f"    {i}: {a}" for i, a in enumerate(self.behavior))
+        if self.narrative:
+            lines.append("  construction:")
+            lines.extend(f"    - {step}" for step in self.narrative)
+        if self.stats:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.stats.items())
+            )
+            lines.append(f"  stats: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,448 @@
+"""The bounded-header impossibility construction (paper, Section 8,
+Theorem 8.5).
+
+Theorem 8.5: *no weakly correct data link protocol is
+message-independent, has bounded headers, and is k-bounded for some k*
+-- over arbitrary (non-FIFO) physical channels.
+
+The engine executes the proof against a concrete protocol over the
+permissive non-FIFO channels ``C-bar`` (system ``D-bar'(A)``):
+
+1. **Pumping** (Lemmas 8.3 and 8.4).  Maintain a schedule ``beta`` with
+   valid behavior and a set ``T`` of packets in transit from t to r.
+   Each round sends a fresh message ``m`` and *probes* the delivery
+   ``gamma1`` the protocol would use (over cleaned channels, so no
+   packet of ``beta`` is re-received -- the k-boundedness witness).  If
+   some delivered packet ``p0``'s equivalence class has fewer than ``k``
+   representatives in ``T``, the engine really executes ``gamma1`` only
+   up to ``send_pkt(p0)``, then loses ``p0`` (clean surgery, Lemma 6.3)
+   and lets the protocol finish delivering ``m`` fairly; ``p0`` joins
+   ``T``.  The chain ``T <_k T' <_k ...`` has length at most
+   ``k * |headers(A)|``, so eventually every class is saturated.
+
+2. **The contradiction** (Theorem 8.5).  When every packet of the
+   probed ``packet_set(m, beta)`` has ``k`` equivalents in ``T``, an
+   injective class-preserving map ``f`` exists.  The engine schedules
+   ``f``'s images as the channel's waiting sequence (Lemma 6.7 --
+   the non-FIFO channel can deliver any in-transit packets in any
+   order) and replays the *receiver's* part of ``gamma1`` against them:
+   by message-independence the receiver behaves equivalently and
+   announces ``receive_msg(m')`` for some ``m'`` -- without any
+   ``send_msg`` having occurred.  Since ``beta`` is valid, every
+   message sent in ``beta`` was already received, so the delivery
+   violates (DL4) (if ``m'`` was sent before) or (DL5) (if not).
+
+The certificate's behavior is re-validated independently.  Protocols
+with unbounded headers (Stenning) are rejected up front -- they fall
+outside the theorem's hypotheses, and indeed escape the construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alphabets import Message, MessageFactory, Packet
+from ..ioa.actions import Action
+from ..ioa.execution import ExecutionFragment
+from ..ioa.fairness import FairnessTimeout
+from ..channels.actions import RECEIVE_PKT, SEND_PKT, receive_pkt
+from ..datalink.actions import RECEIVE_MSG, SEND_MSG
+from ..datalink.message_independence import equivalent, packet_class
+from ..datalink.properties import is_valid_sequence
+from ..datalink.protocol import DataLinkProtocol
+from ..sim.network import DataLinkSystem, permissive_system
+from .certificates import (
+    DUPLICATE_DELIVERY,
+    LIVENESS,
+    UNSENT_DELIVERY,
+    EngineError,
+    ViolationCertificate,
+)
+
+
+@dataclass
+class _TransitEntry:
+    """A packet of ``T``: in transit t->r, with its channel send index."""
+
+    channel_index: int
+    packet: Packet
+
+    @property
+    def cls(self):
+        return packet_class(self.packet)
+
+
+@dataclass
+class _Probe:
+    """Result of probing ``gamma1`` for one fresh message."""
+
+    message: Message
+    actions: Tuple[Action, ...]  # the full gamma1 schedule (from send_msg)
+    received: Tuple[Packet, ...]  # packets received t->r, in order
+
+
+class BoundedHeaderEngine:
+    """Executable form of the Section 8 construction (see module docs)."""
+
+    def __init__(
+        self,
+        protocol: DataLinkProtocol,
+        k: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        max_steps: int = 100_000,
+        t: str = "t",
+        r: str = "r",
+        message_size: int = 0,
+    ):
+        self.protocol = protocol
+        self.declared_k = k
+        self.message_size = message_size
+        self.max_steps = max_steps
+        self.t = t
+        self.r = r
+        self.system: DataLinkSystem = permissive_system(protocol, t, r)
+        self.factory = MessageFactory(label="h")
+        self.narrative: List[str] = []
+        self.stats: Dict[str, int] = {}
+        header_space = protocol.header_space()
+        if header_space is None:
+            raise EngineError(
+                f"protocol {protocol.name!r} does not have bounded "
+                "headers; Theorem 8.5 does not apply (cf. Stenning's "
+                "protocol)"
+            )
+        self.header_count = len(header_space)
+        # Packet classes are (header, body-arity in {0,1}) pairs.
+        self.class_bound = 2 * self.header_count
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+
+    def _step(self, action: Action) -> None:
+        state = self.system.automaton.step(self.fragment.final_state, action)
+        self.fragment = self.fragment.append(action, state)
+
+    def _surgery(self, new_state) -> None:
+        self.fragment = self.fragment.with_final_state(new_state)
+
+    def _receive_msg_key(self):
+        return (RECEIVE_MSG, (self.t, self.r))
+
+    def _assert_valid(self, context: str) -> None:
+        behavior = self.system.behavior(self.fragment)
+        result = is_valid_sequence(behavior, self.t, self.r)
+        if not result.holds:
+            raise EngineError(
+                f"behavior stopped being valid {context}: {result.witness}"
+            )
+
+    # ------------------------------------------------------------------
+    # The k-boundedness probe (Section 8.1)
+    # ------------------------------------------------------------------
+
+    def _probe_delivery(self, message: Message) -> _Probe:
+        """Find ``gamma1``: a delivery of ``message`` continuing ``beta``.
+
+        Probes on a branch: cleans both channels (a legal continuation,
+        Lemma 6.3, which also guarantees no packet of ``beta`` can be
+        re-received) and runs fairly until ``receive_msg(message)``.
+        The main fragment is not modified.
+        """
+        system = self.system
+        state = system.clean_channels(self.fragment.final_state)
+        try:
+            branch = system.run_fair(
+                state,
+                inputs=[system.send(message)],
+                max_steps=self.max_steps,
+                stop_when=lambda a: a.key == self._receive_msg_key()
+                and a.payload == message,
+            )
+        except FairnessTimeout as exc:
+            raise EngineError(
+                f"probe for {message} did not quiesce; the protocol is "
+                "not k-bounded for any usable k"
+            ) from exc
+        delivered = (
+            branch.actions
+            and branch.actions[-1].key == self._receive_msg_key()
+        )
+        if not delivered:
+            raise EngineError(
+                f"probe quiesced without delivering {message}: the "
+                "protocol violates (DL8) over the permissive channel"
+            )
+        received = tuple(
+            a.payload
+            for a in branch.actions
+            if a.key == (RECEIVE_PKT, (self.t, self.r))
+        )
+        return _Probe(message, branch.actions, received)
+
+    # ------------------------------------------------------------------
+    # Lemma 8.3 case 2: extend beta, adding one packet to T
+    # ------------------------------------------------------------------
+
+    def _pump_round(self, probe: _Probe, p0: Packet) -> _TransitEntry:
+        """Execute ``rho`` (the prefix of gamma1 through ``send_pkt(p0)``),
+        lose ``p0``, and let the delivery finish fairly (``rho-hat``)."""
+        system = self.system
+        # The probe branched from the cleaned state; reproduce that.
+        self._surgery(system.clean_channels(self.fragment.final_state))
+        send_key = (SEND_PKT, (self.t, self.r))
+        p0_index: Optional[int] = None
+        rho_had_receive = False
+        for action in probe.actions:
+            self._step(action)
+            if action.key == self._receive_msg_key():
+                rho_had_receive = True
+            if action.key == send_key and action.payload == p0:
+                p0_index = system.channel_state(
+                    self.fragment.final_state, self.t
+                ).counter1
+                break
+        if p0_index is None:
+            raise EngineError(
+                f"send_pkt({p0}) not found in the probed gamma1"
+            )
+        entry = _TransitEntry(p0_index, p0)
+
+        if not rho_had_receive:
+            # Lemma 6.3: lose everything in transit t->r (including p0),
+            # then finish the delivery fairly (rho-hat).
+            self._surgery(
+                system.clean_channel(self.fragment.final_state, self.t)
+            )
+            try:
+                extension = system.run_fair(
+                    self.fragment.final_state,
+                    max_steps=self.max_steps,
+                    stop_when=lambda a: a.key == self._receive_msg_key()
+                    and a.payload == probe.message,
+                )
+            except FairnessTimeout as exc:
+                raise EngineError(
+                    "rho-hat did not quiesce while finishing the "
+                    f"delivery of {probe.message}"
+                ) from exc
+            finished = (
+                extension.actions
+                and extension.actions[-1].key == self._receive_msg_key()
+                and extension.actions[-1].payload == probe.message
+            )
+            if not finished:
+                raise EngineError(
+                    f"(DL8) failure during pumping: {probe.message} was "
+                    "never delivered after losing p0 -- the protocol is "
+                    "not weakly correct over the permissive channel"
+                )
+            self.fragment = self.fragment.extend(extension)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Theorem 8.5: the receiver replay against T
+    # ------------------------------------------------------------------
+
+    def _build_injection(
+        self, probe: _Probe, transit: Sequence[_TransitEntry]
+    ) -> Optional[List[_TransitEntry]]:
+        """The map ``f``: probed received packets -> distinct T entries.
+
+        Returns one entry per received packet (in receive order), class
+        preserving and injective, or None if some class is not yet
+        saturated.
+        """
+        pools: Dict[Tuple, List[_TransitEntry]] = {}
+        for entry in transit:
+            pools.setdefault(entry.cls, []).append(entry)
+        chosen: List[_TransitEntry] = []
+        for packet in probe.received:
+            pool = pools.get(packet_class(packet))
+            if not pool:
+                return None
+            chosen.append(pool.pop(0))
+        return chosen
+
+    def _replay_receiver(
+        self, probe: _Probe, images: Sequence[_TransitEntry]
+    ) -> None:
+        """Replay ``gamma1 | A^r`` against the packets of ``T``.
+
+        Schedules the ``f``-images as the waiting sequence of the
+        non-FIFO channel (Lemmas 6.7 and 6.4) and mirrors each receiver
+        step of the probe with an equivalent step, as in the Theorem 8.5
+        induction.
+        """
+        system = self.system
+        receiver = system.receiver
+        self._surgery(
+            system.set_waiting(
+                self.fragment.final_state,
+                self.t,
+                [entry.channel_index for entry in images],
+            )
+        )
+        cursor = 0
+        receiver_signature = receiver.signature
+        for action in probe.actions:
+            if not receiver_signature.contains(action):
+                continue
+            if action.key == (RECEIVE_PKT, (self.t, self.r)):
+                image = images[cursor]
+                cursor += 1
+                channel_state = system.channel_state(
+                    self.fragment.final_state, self.t
+                )
+                deliverable = channel_state.deliverable()
+                if deliverable is None or deliverable[1] != image.packet:
+                    raise EngineError(
+                        "channel did not offer the scheduled T-packet "
+                        f"{image.packet}"
+                    )
+                if not equivalent(image.packet, action.payload):
+                    raise EngineError(
+                        f"T-packet {image.packet} is not equivalent to "
+                        f"the probed packet {action.payload}"
+                    )
+                self._step(
+                    receive_pkt(self.t, self.r, image.packet)
+                )
+            elif action.key[0] in (SEND_PKT, RECEIVE_MSG):
+                host = system.host_state(self.fragment.final_state, self.r)
+                candidates = [
+                    a
+                    for a in receiver.enabled_local_actions(host)
+                    if a.key == action.key
+                    and equivalent(a.payload, action.payload)
+                ]
+                if not candidates:
+                    raise EngineError(
+                        "message-independence failure in the receiver "
+                        f"replay: no action equivalent to {action} enabled"
+                    )
+                self._step(candidates[0])
+            else:
+                raise EngineError(
+                    f"unexpected receiver action {action} in gamma1"
+                )
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> ViolationCertificate:
+        """Execute the Theorem 8.5 construction; returns the certificate."""
+        system = self.system
+        self.fragment = system.run_inputs(
+            system.initial_state(), [system.wake_t(), system.wake_r()]
+        )
+        transit: List[_TransitEntry] = []
+        k = 1 if self.declared_k is None else self.declared_k
+        rounds = 0
+        while True:
+            limit = self.max_rounds or (k * self.class_bound + 2)
+            if rounds > limit:
+                raise EngineError(
+                    f"pumping exceeded {limit} rounds without saturating "
+                    "the header classes; the protocol appears not to be "
+                    f"{k}-bounded with bounded headers"
+                )
+            message = self.factory.fresh(self.message_size)
+            probe = self._probe_delivery(message)
+            observed = len(probe.received)
+            if self.declared_k is None and observed > k:
+                k = observed  # adaptive k: the largest packet_set seen
+            elif observed > k:
+                raise EngineError(
+                    f"protocol used {observed} packets to deliver "
+                    f"{message}, exceeding the declared k={k}"
+                )
+            images = self._build_injection(probe, transit)
+            if images is not None:
+                self.stats["pump_rounds"] = rounds
+                self.stats["transit_packets"] = len(transit)
+                self.stats["k"] = k
+                self.narrative.append(
+                    f"after {rounds} pumping rounds, T holds "
+                    f"{len(transit)} packets saturating every class of "
+                    f"packet_set({message}); replaying the receiver "
+                    "against T (Theorem 8.5)"
+                )
+                self._replay_receiver(probe, images)
+                break
+            # Case 2 of Lemma 8.3: grow T by one under-represented packet.
+            counts: Dict[Tuple, int] = {}
+            for entry in transit:
+                counts[entry.cls] = counts.get(entry.cls, 0) + 1
+            p0 = next(
+                p
+                for p in probe.received
+                if counts.get(packet_class(p), 0) < k
+            )
+            entry = self._pump_round(probe, p0)
+            transit.append(entry)
+            rounds += 1
+            self._assert_valid(f"after pumping round {rounds}")
+            self.narrative.append(
+                f"round {rounds}: delivered {message} while keeping a "
+                f"{packet_class(p0)[0]!r} packet in transit "
+                f"(|T| = {len(transit)})"
+            )
+
+        # Fair extension with no inputs, then classify.
+        try:
+            extension = system.run_fair(
+                self.fragment.final_state, max_steps=self.max_steps
+            )
+            self.fragment = self.fragment.extend(extension)
+        except FairnessTimeout:
+            pass  # safety violation below persists on any extension
+        behavior = system.behavior(self.fragment)
+        deliveries = [
+            a for a in behavior if a.key == self._receive_msg_key()
+        ]
+        sends = [
+            a.payload for a in behavior if a.key == (SEND_MSG, (self.t, self.r))
+        ]
+        phantom = [a.payload for a in deliveries if a.payload not in sends]
+        kind = UNSENT_DELIVERY if phantom else DUPLICATE_DELIVERY
+        violated = ("DL5",) if phantom else ("DL4",)
+        self.narrative.append(
+            "receiver replay announced a delivery with no send_msg "
+            "pending: " + ("(DL5) violated" if phantom else "(DL4) violated")
+        )
+        certificate = ViolationCertificate(
+            protocol_name=self.protocol.name,
+            theorem="theorem-8.5",
+            kind=kind,
+            behavior=behavior,
+            violated=violated,
+            narrative=tuple(self.narrative),
+            stats=dict(self.stats),
+            t=self.t,
+            r=self.r,
+        )
+        if not certificate.validate():
+            raise EngineError(
+                "constructed certificate failed independent validation; "
+                "this indicates an engine bug:\n" + certificate.describe()
+            )
+        return certificate
+
+
+def refute_bounded_headers(
+    protocol: DataLinkProtocol,
+    k: Optional[int] = None,
+    max_steps: int = 100_000,
+    message_size: int = 0,
+) -> ViolationCertificate:
+    """Run the Theorem 8.5 construction against ``protocol``.
+
+    The protocol must be message-independent, k-bounded and have bounded
+    headers; unbounded-header protocols are rejected with
+    :class:`~repro.impossibility.certificates.EngineError`.
+    """
+    return BoundedHeaderEngine(
+        protocol, k=k, max_steps=max_steps, message_size=message_size
+    ).run()

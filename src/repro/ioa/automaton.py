@@ -1,0 +1,140 @@
+"""The I/O automaton abstraction (paper, Section 2.2).
+
+An I/O automaton has an action signature, states, start states, a
+transition relation that is *input-enabled* (every input action is enabled
+in every state), and a partition of its locally-controlled actions into
+*tasks* used to define fairness.
+
+States are arbitrary hashable immutable Python values.  The transition
+relation is exposed through two methods:
+
+* :meth:`Automaton.transitions` -- the set of post-states for a (state,
+  action) pair; for input actions this must be non-empty in every state;
+* :meth:`Automaton.enabled_local_actions` -- the locally-controlled actions
+  enabled in a state (the outputs and internals with a true precondition).
+
+The partition ``part(A)`` is exposed as :meth:`Automaton.task_of`, mapping
+each locally-controlled action to a hashable task identifier.  A fair
+execution gives fair turns to every task.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Tuple
+
+from .actions import Action
+from .signature import ActionSignature
+
+State = Any
+
+
+class TransitionError(RuntimeError):
+    """Raised when an automaton is asked to take a step it cannot take."""
+
+
+class Automaton(ABC):
+    """Abstract base class for I/O automata.
+
+    Subclasses provide a name, a signature, an initial state, the
+    transition relation and (optionally) a task partition.  The default
+    partition places all locally-controlled actions in a single task,
+    which is what the paper's channels use.
+    """
+
+    name: str = "automaton"
+
+    # ------------------------------------------------------------------
+    # Interface to implement
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def signature(self) -> ActionSignature:
+        """The action signature ``sig(A)``."""
+
+    @abstractmethod
+    def initial_state(self) -> State:
+        """A start state of the automaton.
+
+        The paper allows a set of start states; automata with genuinely
+        nondeterministic starts (the permissive channels, whose delivery
+        set is arbitrary) are parameterized by their start choice at
+        construction time, so a single state suffices here.
+        """
+
+    @abstractmethod
+    def transitions(self, state: State, action: Action) -> Tuple[State, ...]:
+        """All states ``s`` with ``(state, action, s)`` in ``steps(A)``.
+
+        Must return a non-empty tuple whenever ``action`` is an input
+        action of the automaton (input-enabledness).  May return the
+        empty tuple for a locally-controlled action whose precondition
+        does not hold in ``state``.
+        """
+
+    @abstractmethod
+    def enabled_local_actions(self, state: State) -> Iterable[Action]:
+        """The locally-controlled actions enabled in ``state``."""
+
+    # ------------------------------------------------------------------
+    # Partition / tasks
+    # ------------------------------------------------------------------
+
+    def task_of(self, action: Action) -> Hashable:
+        """The task (equivalence class of ``part(A)``) of a local action.
+
+        The default is a single class containing all locally-controlled
+        actions of the automaton.
+        """
+        return (self.name, "main")
+
+    def tasks(self) -> Iterable[Hashable]:
+        """Best-effort enumeration of this automaton's task identifiers.
+
+        Used by fair executors to give turns; automata with richer
+        partitions should override.  The default single-task partition
+        is returned here.
+        """
+        return [(self.name, "main")]
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def is_enabled(self, state: State, action: Action) -> bool:
+        """True iff some step ``(state, action, s)`` exists."""
+        return bool(self.transitions(state, action))
+
+    def step(self, state: State, action: Action) -> State:
+        """Take a step, returning the unique (or first) post-state.
+
+        Raises :class:`TransitionError` if the action is not enabled.
+        Most automata in this repository are deterministic, in which
+        case this is *the* post-state.
+        """
+        post = self.transitions(state, action)
+        if not post:
+            raise TransitionError(
+                f"{self.name}: action {action} not enabled in state {state!r}"
+            )
+        return post[0]
+
+    def is_quiescent(self, state: State) -> bool:
+        """True iff no locally-controlled action is enabled in ``state``.
+
+        A finite execution ending in a quiescent state is fair (paper,
+        Section 2.2: no class of the partition has an enabled action).
+        """
+        for _ in self.enabled_local_actions(state):
+            return False
+        return True
+
+    def check_input_enabled(self, state: State, actions: Iterable[Action]) -> bool:
+        """Spot-check input-enabledness for the given input actions."""
+        for action in actions:
+            if self.signature.is_input(action) and not self.is_enabled(
+                state, action
+            ):
+                return False
+        return True

@@ -1,0 +1,165 @@
+"""Composition of I/O automata (paper, Section 2.5.2).
+
+The composition of a strongly compatible collection of automata is itself
+an automaton whose state is the vector of component states.  A step on
+action ``pi`` makes every component with ``pi`` in its signature take a
+``pi``-step simultaneously while all other components stay put.
+
+This module also provides the projection operation of Lemma 2.2 (an
+execution of the composition projects to an execution of each component).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from .actions import Action
+from .automaton import Automaton, State
+from .execution import ExecutionFragment
+from .signature import (
+    ActionSignature,
+    SignatureError,
+    compose_signatures,
+    strongly_compatible,
+)
+
+
+class Composition(Automaton):
+    """The composition ``A = prod_i A_i`` of strongly compatible automata.
+
+    The composed state is a tuple with one slot per component, in the
+    order the components were given.
+    """
+
+    def __init__(self, components: Sequence[Automaton], name: str = "composition"):
+        components = list(components)
+        if not strongly_compatible(c.signature for c in components):
+            raise SignatureError(
+                "component automata are not strongly compatible"
+            )
+        self.name = name
+        self._components: Tuple[Automaton, ...] = tuple(components)
+        self._signature = compose_signatures(
+            c.signature for c in components
+        )
+        # Pre-compute, per component, which action families it knows.
+        self._family_owners: Dict[Tuple, List[int]] = {}
+        for i, component in enumerate(self._components):
+            for family in component.signature.all_families:
+                self._family_owners.setdefault(family, []).append(i)
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+
+    @property
+    def components(self) -> Tuple[Automaton, ...]:
+        return self._components
+
+    def component_index(self, name: str) -> int:
+        """Index of the (unique) component with the given name."""
+        matches = [
+            i for i, c in enumerate(self._components) if c.name == name
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one component named {name!r}, "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def component_state(self, state: State, name: str) -> State:
+        """The slice of the composed ``state`` belonging to component ``name``."""
+        return state[self.component_index(name)]
+
+    def with_component_state(
+        self, state: State, name: str, new_component_state: State
+    ) -> State:
+        """Composed state with one component's slice replaced.
+
+        This is the hook the impossibility engines use for adversary
+        surgery on channel states (paper Lemmas 6.3 and 6.5-6.7): the
+        surgery functions justify that the replacement state is reachable
+        under the same schedule via a different start-state choice.
+        """
+        index = self.component_index(name)
+        return state[:index] + (new_component_state,) + state[index + 1 :]
+
+    # ------------------------------------------------------------------
+    # Automaton interface
+    # ------------------------------------------------------------------
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    def initial_state(self) -> State:
+        return tuple(c.initial_state() for c in self._components)
+
+    def transitions(self, state: State, action: Action) -> Tuple[State, ...]:
+        owners = self._family_owners.get(action.key)
+        if not owners:
+            return ()
+        # Every owning component must be able to take the step.
+        per_component_choices: List[Tuple[State, ...]] = []
+        for i in owners:
+            choices = self._components[i].transitions(state[i], action)
+            if not choices:
+                return ()
+            per_component_choices.append(choices)
+        results: List[State] = []
+        for combo in itertools.product(*per_component_choices):
+            new_state = list(state)
+            for slot, i in enumerate(owners):
+                new_state[i] = combo[slot]
+            results.append(tuple(new_state))
+        return tuple(results)
+
+    def enabled_local_actions(self, state: State) -> Iterable[Action]:
+        for i, component in enumerate(self._components):
+            for action in component.enabled_local_actions(state[i]):
+                # An action locally controlled by one component may be an
+                # input of others; it is enabled in the composition since
+                # inputs are always enabled.
+                yield action
+
+    def task_of(self, action: Action) -> Hashable:
+        for i, component in enumerate(self._components):
+            if component.signature.is_local(action):
+                return (i, component.task_of(action))
+        raise KeyError(f"{action} is not locally controlled by any component")
+
+    def tasks(self) -> Iterable[Hashable]:
+        for i, component in enumerate(self._components):
+            for task in component.tasks():
+                yield (i, task)
+
+    # ------------------------------------------------------------------
+    # Lemma 2.2: projection
+    # ------------------------------------------------------------------
+
+    def project_execution(
+        self, fragment: ExecutionFragment, index: int
+    ) -> ExecutionFragment:
+        """``alpha | A_i``: project a composed execution onto component ``index``.
+
+        Deletes steps whose action is not in the component's signature and
+        keeps the component's slice of each remaining state (Lemma 2.2
+        guarantees the result is an execution fragment of the component).
+        """
+        component = self._components[index]
+        states: List[State] = [fragment.states[0][index]]
+        actions: List[Action] = []
+        for i, action in enumerate(fragment.actions):
+            if component.signature.contains(action):
+                actions.append(action)
+                states.append(fragment.states[i + 1][index])
+        return ExecutionFragment(tuple(states), tuple(actions))
+
+    def project_schedule(
+        self, schedule: Iterable[Action], index: int
+    ) -> Tuple[Action, ...]:
+        """``beta | A_i`` on schedules."""
+        signature = self._components[index].signature
+        return tuple(a for a in schedule if signature.contains(a))

@@ -1,0 +1,126 @@
+"""Refinement mappings: proving ``solves`` structurally (paper, Section 2.4).
+
+The paper's ``A solves H`` is an inclusion of behavior sets.  The
+classical way to *prove* such inclusions in the I/O-automaton tradition
+is a simulation; this module implements its simplest form, a
+**refinement mapping**: a function ``f`` from implementation states to
+specification states such that
+
+* ``f(start_impl)`` is the specification's start state,
+* for every reachable implementation step ``(s, a, s')``:
+
+  - if ``a`` is an action of the specification, then
+    ``(f(s), a, f(s'))`` is a specification step;
+  - otherwise the step *stutters*: ``f(s') = f(s)``.
+
+Every behavior of the implementation (projected onto specification
+actions) is then a behavior of the specification.  The check is run
+exhaustively over the implementation's reachable states (under an
+optional input environment), so at bounded scope it is a proof, with a
+concrete failing step reported otherwise.
+
+Used by the tests to prove, e.g., that the alternating-bit protocol
+composed with arbitrary bounded lossy FIFO channels refines a
+one-queue reliable-delivery specification automaton -- the structural
+counterpart of the harness' sampled ``DL`` conformance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from .actions import Action
+from .automaton import Automaton, State
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of an exhaustive refinement check."""
+
+    holds: bool
+    states_checked: int
+    exhaustive: bool
+    failure: Optional[str] = None
+    failing_trace: Tuple[Action, ...] = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def check_refinement(
+    implementation: Automaton,
+    specification: Automaton,
+    mapping: Callable[[State], State],
+    environment: Callable[[State], Iterable[Action]] = lambda _: (),
+    max_states: int = 200_000,
+) -> RefinementResult:
+    """Exhaustively check that ``mapping`` is a refinement mapping.
+
+    Explores the implementation's reachable states (locally-controlled
+    actions plus whatever inputs ``environment`` offers) and validates
+    the two refinement conditions at every step.  Specification actions
+    are those in ``specification.signature``; all other implementation
+    actions must stutter.
+    """
+    start = implementation.initial_state()
+    if mapping(start) != specification.initial_state():
+        return RefinementResult(
+            False,
+            0,
+            True,
+            failure=(
+                f"start state maps to {mapping(start)!r}, not the "
+                f"specification start {specification.initial_state()!r}"
+            ),
+        )
+    seen: Set[State] = {start}
+    frontier = deque([(start, ())])
+    truncated = False
+    while frontier:
+        state, trace = frontier.popleft()
+        abstract = mapping(state)
+        actions: List[Action] = list(
+            implementation.enabled_local_actions(state)
+        )
+        actions.extend(environment(state))
+        for action in actions:
+            for successor in implementation.transitions(state, action):
+                new_trace = trace + (action,)
+                new_abstract = mapping(successor)
+                if specification.signature.contains(action):
+                    if new_abstract not in specification.transitions(
+                        abstract, action
+                    ):
+                        return RefinementResult(
+                            False,
+                            len(seen),
+                            not truncated,
+                            failure=(
+                                f"step {action} maps {abstract!r} to "
+                                f"{new_abstract!r}, which is not a "
+                                "specification step"
+                            ),
+                            failing_trace=new_trace,
+                        )
+                elif new_abstract != abstract:
+                    return RefinementResult(
+                        False,
+                        len(seen),
+                        not truncated,
+                        failure=(
+                            f"non-specification step {action} failed to "
+                            f"stutter: {abstract!r} became "
+                            f"{new_abstract!r}"
+                        ),
+                        failing_trace=new_trace,
+                    )
+                if successor in seen:
+                    continue
+                if len(seen) >= max_states:
+                    truncated = True
+                    continue
+                seen.add(successor)
+                frontier.append((successor, new_trace))
+    return RefinementResult(True, len(seen), not truncated)

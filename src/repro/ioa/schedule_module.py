@@ -1,0 +1,149 @@
+"""Schedule modules and the "solves" relation (paper, Sections 2.3-2.4).
+
+A schedule module ``H`` is an action signature plus a set of schedules; it
+is the paper's formal notion of a *problem specification*.  The sets used
+in the paper (``PL``, ``PL-FIFO``, ``DL``, ``WDL``) are infinite, so we
+represent ``scheds(H)`` by a membership predicate over finite sequences.
+
+An automaton ``A`` *solves* ``H`` when ``fairbehs(A) <= behs(H)``.  That
+inclusion is not decidable in general; this module provides the checkable
+instance used throughout the repository: testing that particular (fair)
+behaviors produced by executors belong to ``behs(H)``, and reporting a
+structured verdict when they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from .actions import Action
+from .signature import ActionSignature
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of evaluating one trace property.
+
+    ``holds`` is the verdict; when False, ``witness`` describes the
+    violation (typically event indices and the offending actions) in a
+    human-readable way.
+    """
+
+    name: str
+    holds: bool
+    witness: Optional[str] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+    @staticmethod
+    def ok(name: str) -> "PropertyResult":
+        return PropertyResult(name, True)
+
+    @staticmethod
+    def violated(name: str, witness: str) -> "PropertyResult":
+        return PropertyResult(name, False, witness)
+
+
+@dataclass(frozen=True)
+class ModuleVerdict:
+    """Result of checking a schedule against a schedule module.
+
+    ``in_module`` is True when the sequence belongs to ``scheds(H)``.
+    ``vacuous`` is True when membership holds only because the
+    environment-side assumptions failed (the specification's implication
+    is vacuously true).  ``failures`` lists the violated guaranteed
+    properties when ``in_module`` is False.
+    """
+
+    in_module: bool
+    vacuous: bool = False
+    assumption_failures: Tuple[PropertyResult, ...] = ()
+    failures: Tuple[PropertyResult, ...] = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.in_module
+
+
+class ScheduleModule:
+    """A problem specification: signature + assumption/guarantee properties.
+
+    All of the paper's modules have the same shape: *if* the sequence is
+    well-formed and satisfies some environment-controlled properties,
+    *then* it must satisfy some module-guaranteed properties.  We encode
+    that implication directly: ``assumptions`` and ``guarantees`` are
+    lists of named predicates over finite action sequences.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        signature: ActionSignature,
+        assumptions: Sequence[Callable[[Sequence[Action]], PropertyResult]],
+        guarantees: Sequence[Callable[[Sequence[Action]], PropertyResult]],
+    ):
+        self.name = name
+        self.signature = signature
+        self.assumptions = list(assumptions)
+        self.guarantees = list(guarantees)
+
+    # ------------------------------------------------------------------
+
+    def check(self, schedule: Sequence[Action]) -> ModuleVerdict:
+        """Membership test for ``scheds(H)`` on a finite sequence."""
+        assumption_failures = tuple(
+            r
+            for r in (check(schedule) for check in self.assumptions)
+            if not r.holds
+        )
+        if assumption_failures:
+            # The implication holds vacuously: any sequence violating the
+            # environment assumptions is in the module.
+            return ModuleVerdict(
+                True, vacuous=True, assumption_failures=assumption_failures
+            )
+        failures = tuple(
+            r
+            for r in (check(schedule) for check in self.guarantees)
+            if not r.holds
+        )
+        return ModuleVerdict(not failures, failures=failures)
+
+    def contains(self, schedule: Sequence[Action]) -> bool:
+        return self.check(schedule).in_module
+
+    def behavior_of(self, schedule: Sequence[Action]) -> Tuple[Action, ...]:
+        """``beh(beta)`` with respect to this module's signature."""
+        return tuple(
+            a for a in schedule if self.signature.is_external(a)
+        )
+
+    def weaker_than(
+        self, other: "ScheduleModule", samples: Iterable[Sequence[Action]]
+    ) -> bool:
+        """Sampled check that ``scheds(other) <= scheds(self)``.
+
+        Used by tests to confirm, e.g., ``scheds(DL) <= scheds(WDL)``
+        (paper, Section 4) on generated trace corpora.
+        """
+        return all(
+            self.contains(s) for s in samples if other.contains(s)
+        )
+
+
+def check_solves_on(
+    module: ScheduleModule,
+    fair_behaviors: Iterable[Sequence[Action]],
+) -> Tuple[bool, Optional[ModuleVerdict]]:
+    """Test ``fairbehs(A) <= behs(H)`` on a corpus of fair behaviors.
+
+    Returns (True, None) if every given behavior is in the module, else
+    (False, verdict) for the first failure.  This is the checkable slice
+    of the paper's ``solves`` relation.
+    """
+    for behavior in fair_behaviors:
+        verdict = module.check(behavior)
+        if not verdict.in_module:
+            return False, verdict
+    return True, None

@@ -1,0 +1,30 @@
+"""Concrete data link protocols: victims, positive controls, strawmen."""
+
+from .alternating_bit import alternating_bit_protocol
+from .fragmentation import fragmenting_protocol
+from .baratz_segall import baratz_segall_protocol
+from .naive import (
+    PHANTOM_MESSAGE,
+    direct_protocol,
+    eager_protocol,
+    message_peeking_protocol,
+    spontaneous_protocol,
+)
+from .selective_repeat import selective_repeat_protocol
+from .sliding_window import sliding_window_protocol
+from .stenning import modulo_stenning_protocol, stenning_protocol
+
+__all__ = [
+    "PHANTOM_MESSAGE",
+    "alternating_bit_protocol",
+    "baratz_segall_protocol",
+    "direct_protocol",
+    "eager_protocol",
+    "fragmenting_protocol",
+    "message_peeking_protocol",
+    "modulo_stenning_protocol",
+    "selective_repeat_protocol",
+    "sliding_window_protocol",
+    "spontaneous_protocol",
+    "stenning_protocol",
+]

@@ -1,0 +1,166 @@
+"""The alternating-bit protocol (ABP).
+
+The classic 1-bit sliding-window ARQ protocol: data packets carry a
+single alternating bit, acknowledgements echo it.  ABP is
+
+* correct over FIFO physical channels when properly initialized,
+* **crashing** and **message-independent** with **bounded headers**
+  (four headers) and **1-bounded** -- i.e. it satisfies every hypothesis
+  of both impossibility theorems, making it the canonical victim for the
+  crash engine (Theorem 7.5, over FIFO channels) and the bounded-header
+  engine (Theorem 8.5, over non-FIFO channels).
+
+States quiesce: the transmitter retransmits only while a message is
+outstanding, and the receiver acknowledges each received data packet
+exactly once (a lost acknowledgement is re-triggered by the
+retransmitted data packet), so fair executions over clean channels
+terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    Core,
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+DATA = "DATA"
+ACK = "ACK"
+
+
+@dataclass(frozen=True)
+class AbpTransmitterCore:
+    """Transmitter state: FIFO queue of unsent messages + current bit."""
+
+    bit: int = 0
+    queue: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+#: Finite bound on the pending-acknowledgement queue.  Dropping an
+#: acknowledgement when the buffer is full is indistinguishable from the
+#: ack packet being lost on the channel (the retransmitted data packet
+#: re-triggers it), so the bound does not affect correctness -- and it
+#: keeps the state space finite for exhaustive model checking.
+ACK_QUEUE_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class AbpReceiverCore:
+    """Receiver state: expected bit, delivery inbox, pending ack queue."""
+
+    expected: int = 0
+    inbox: Tuple[Message, ...] = ()
+    pending_acks: Tuple[int, ...] = ()
+    awake: bool = False
+
+
+class AbpTransmitter(TransmitterLogic):
+    """ABP transmitting-station logic."""
+
+    def initial_core(self) -> AbpTransmitterCore:
+        return AbpTransmitterCore()
+
+    def on_wake(self, core: AbpTransmitterCore) -> AbpTransmitterCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: AbpTransmitterCore) -> AbpTransmitterCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(
+        self, core: AbpTransmitterCore, message: Message
+    ) -> AbpTransmitterCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(
+        self, core: AbpTransmitterCore, packet: Packet
+    ) -> AbpTransmitterCore:
+        kind, bit = packet.header
+        if kind == ACK and bit == core.bit and core.queue:
+            # Current message acknowledged: advance the window.
+            return replace(core, bit=core.bit ^ 1, queue=core.queue[1:])
+        return core
+
+    def enabled_sends(self, core: AbpTransmitterCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet((DATA, core.bit), (core.queue[0],))
+
+    def after_send(
+        self, core: AbpTransmitterCore, packet: Packet
+    ) -> AbpTransmitterCore:
+        return core  # retransmission stays enabled until acknowledged
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({(DATA, 0), (DATA, 1)})
+
+
+class AbpReceiver(ReceiverLogic):
+    """ABP receiving-station logic."""
+
+    def initial_core(self) -> AbpReceiverCore:
+        return AbpReceiverCore()
+
+    def on_wake(self, core: AbpReceiverCore) -> AbpReceiverCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: AbpReceiverCore) -> AbpReceiverCore:
+        return replace(core, awake=False)
+
+    def on_packet(
+        self, core: AbpReceiverCore, packet: Packet
+    ) -> AbpReceiverCore:
+        kind, bit = packet.header
+        if kind != DATA:
+            return core
+        core = replace(
+            core,
+            pending_acks=(core.pending_acks + (bit,))[-ACK_QUEUE_LIMIT:],
+        )
+        if bit == core.expected:
+            (message,) = packet.body
+            core = replace(
+                core,
+                expected=core.expected ^ 1,
+                inbox=core.inbox + (message,),
+            )
+        return core
+
+    def enabled_sends(self, core: AbpReceiverCore) -> Iterable[Packet]:
+        if core.awake and core.pending_acks:
+            yield Packet((ACK, core.pending_acks[0]))
+
+    def after_send(
+        self, core: AbpReceiverCore, packet: Packet
+    ) -> AbpReceiverCore:
+        return replace(core, pending_acks=core.pending_acks[1:])
+
+    def enabled_deliveries(self, core: AbpReceiverCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(
+        self, core: AbpReceiverCore, message: Message
+    ) -> AbpReceiverCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({(ACK, 0), (ACK, 1)})
+
+
+def alternating_bit_protocol() -> DataLinkProtocol:
+    """The ABP as a :class:`~repro.datalink.protocol.DataLinkProtocol`."""
+    return DataLinkProtocol(
+        name="alternating-bit",
+        transmitter_factory=AbpTransmitter,
+        receiver_factory=AbpReceiver,
+        description=(
+            "1-bit sliding window ARQ; correct over FIFO channels, "
+            "crashing, message-independent, bounded headers"
+        ),
+    )

@@ -1,0 +1,260 @@
+"""A Baratz-Segall-style link initialization protocol with non-volatile memory.
+
+Baratz and Segall [BS83] showed that sliding-window protocols can be
+combined with a careful link-initialization procedure to survive an
+arbitrary number of link failures, *provided* the stations keep a small
+amount of non-volatile memory across crashes; our paper proves the
+"provided" is essential (Theorem 7.5).  This module implements an
+initialization-plus-transfer protocol in that spirit:
+
+* each station holds an **incarnation number** in non-volatile storage
+  and bumps it on every crash (BS83 achieve the same disambiguation with
+  a single non-volatile bit via a more intricate handshake; we use a
+  counter for clarity -- the substitution is immaterial to the theorem
+  boundary, which only distinguishes *zero* non-volatile state from
+  *some*);
+* a session is established by a SYN / SYNACK handshake quoting both
+  incarnations; DATA and ACK packets carry the session pair and a
+  sequence number, so packets from dead sessions are recognized and
+  answered with RESET;
+* on a session reset the transmitter **discards in-doubt messages**
+  (sent but unacknowledged): they may or may not have been delivered,
+  and re-sending them in a new session is exactly what would create the
+  duplicate deliveries of Theorem 7.5.
+
+Guarantees (demonstrated by the E5 experiments): (DL4)/(DL5) safety
+under arbitrary crash schedules, and delivery of every message submitted
+while both stations remain up.  With ``nonvolatile=False`` the same
+protocol becomes *crashing* -- and the crash engine defeats it, which is
+the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+#: Finite bound on the receiver's pending-response queue (see the note
+#: in :mod:`repro.protocols.alternating_bit`): overflow equals loss.
+RESPONSE_QUEUE_LIMIT = 4
+
+SYN = "SYN"
+SYNACK = "SYNACK"
+DATA = "DATA"
+ACK = "ACK"
+RESET = "RESET"
+
+
+@dataclass(frozen=True)
+class BsTransmitterCore:
+    """Transmitter state; ``nv`` is the non-volatile incarnation."""
+
+    nv: int = 0
+    awake: bool = False
+    peer: Optional[int] = None  # receiver incarnation once handshaken
+    seq: int = 0  # sequence number of ``current`` in this session
+    current: Optional[Message] = None  # in-flight (in-doubt) message
+    queue: Tuple[Message, ...] = ()  # not yet exposed to the link
+
+
+@dataclass(frozen=True)
+class BsReceiverCore:
+    """Receiver state; ``nv`` is the non-volatile incarnation."""
+
+    nv: int = 0
+    awake: bool = False
+    tx_epoch: Optional[int] = None  # transmitter incarnation, if known
+    expected: int = 0
+    inbox: Tuple[Message, ...] = ()
+    responses: Tuple[Packet, ...] = ()  # one queued response per packet
+
+
+def _promote(core: BsTransmitterCore) -> BsTransmitterCore:
+    """Move the next queued message into the in-flight slot if possible."""
+    if core.peer is not None and core.current is None and core.queue:
+        return replace(
+            core, current=core.queue[0], queue=core.queue[1:]
+        )
+    return core
+
+
+class BsTransmitter(TransmitterLogic):
+    """Baratz-Segall-style transmitting-station logic."""
+
+    def __init__(self, nonvolatile: bool = True):
+        self.nonvolatile = nonvolatile
+
+    def initial_core(self) -> BsTransmitterCore:
+        return BsTransmitterCore()
+
+    def on_crash(self, core: BsTransmitterCore) -> BsTransmitterCore:
+        if self.nonvolatile:
+            # Everything volatile is lost; the incarnation survives and
+            # is bumped so stale packets are recognizably stale.
+            return BsTransmitterCore(nv=core.nv + 1)
+        return self.initial_core()
+
+    def on_wake(self, core: BsTransmitterCore) -> BsTransmitterCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: BsTransmitterCore) -> BsTransmitterCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(
+        self, core: BsTransmitterCore, message: Message
+    ) -> BsTransmitterCore:
+        return _promote(replace(core, queue=core.queue + (message,)))
+
+    def on_packet(
+        self, core: BsTransmitterCore, packet: Packet
+    ) -> BsTransmitterCore:
+        kind = packet.header[0]
+        if kind == SYNACK:
+            _, tx_epoch, rx_epoch = packet.header
+            if tx_epoch == core.nv and core.peer is None:
+                return _promote(replace(core, peer=rx_epoch, seq=0))
+        elif kind == ACK:
+            _, session, seq = packet.header
+            if (
+                core.peer is not None
+                and session == (core.nv, core.peer)
+                and core.current is not None
+                and seq == core.seq
+            ):
+                return _promote(
+                    replace(core, current=None, seq=core.seq + 1)
+                )
+        elif kind == RESET:
+            _, rx_epoch = packet.header
+            if core.peer is not None and rx_epoch != core.peer:
+                # The receiver rebooted: the session is dead.  The
+                # in-flight message is in doubt (it may already have been
+                # delivered) and is discarded rather than risk duplicate
+                # delivery in the next session.
+                return _promote(
+                    replace(core, peer=None, seq=0, current=None)
+                )
+        return core
+
+    def enabled_sends(self, core: BsTransmitterCore) -> Iterable[Packet]:
+        if not core.awake:
+            return
+        if core.peer is None:
+            if core.current is not None or core.queue:
+                yield Packet((SYN, core.nv))
+        elif core.current is not None:
+            yield Packet(
+                (DATA, (core.nv, core.peer), core.seq), (core.current,)
+            )
+
+    def after_send(
+        self, core: BsTransmitterCore, packet: Packet
+    ) -> BsTransmitterCore:
+        return core
+
+    def header_space(self) -> Optional[FrozenSet]:
+        return None  # incarnations and sequence numbers are unbounded
+
+
+class BsReceiver(ReceiverLogic):
+    """Baratz-Segall-style receiving-station logic."""
+
+    def __init__(self, nonvolatile: bool = True):
+        self.nonvolatile = nonvolatile
+
+    def initial_core(self) -> BsReceiverCore:
+        return BsReceiverCore()
+
+    def on_crash(self, core: BsReceiverCore) -> BsReceiverCore:
+        if self.nonvolatile:
+            return BsReceiverCore(nv=core.nv + 1)
+        return self.initial_core()
+
+    def on_wake(self, core: BsReceiverCore) -> BsReceiverCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: BsReceiverCore) -> BsReceiverCore:
+        return replace(core, awake=False)
+
+    def _respond(self, core: BsReceiverCore, packet: Packet) -> BsReceiverCore:
+        return replace(
+            core,
+            responses=(core.responses + (packet,))[-RESPONSE_QUEUE_LIMIT:],
+        )
+
+    def on_packet(
+        self, core: BsReceiverCore, packet: Packet
+    ) -> BsReceiverCore:
+        kind = packet.header[0]
+        if kind == SYN:
+            _, tx_epoch = packet.header
+            # (Re-)establish the session for this transmitter incarnation.
+            core = replace(core, tx_epoch=tx_epoch, expected=0)
+            return self._respond(
+                core, Packet((SYNACK, tx_epoch, core.nv))
+            )
+        if kind == DATA:
+            _, session, seq = packet.header
+            tx_epoch, rx_epoch = session
+            if rx_epoch != core.nv or tx_epoch != core.tx_epoch:
+                # A packet from a dead session: tell the transmitter.
+                return self._respond(core, Packet((RESET, core.nv)))
+            if seq == core.expected:
+                (message,) = packet.body
+                core = replace(
+                    core,
+                    expected=core.expected + 1,
+                    inbox=core.inbox + (message,),
+                )
+            return self._respond(core, Packet((ACK, session, seq)))
+        return core
+
+    def enabled_sends(self, core: BsReceiverCore) -> Iterable[Packet]:
+        if core.awake and core.responses:
+            yield core.responses[0]
+
+    def after_send(
+        self, core: BsReceiverCore, packet: Packet
+    ) -> BsReceiverCore:
+        return replace(core, responses=core.responses[1:])
+
+    def enabled_deliveries(self, core: BsReceiverCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(
+        self, core: BsReceiverCore, message: Message
+    ) -> BsReceiverCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> Optional[FrozenSet]:
+        return None
+
+
+def baratz_segall_protocol(nonvolatile: bool = True) -> DataLinkProtocol:
+    """The initialization protocol, with or without non-volatile memory.
+
+    ``nonvolatile=True`` (the default) survives host crashes -- and is
+    rejected by the crash engine, since it is not *crashing*.
+    ``nonvolatile=False`` resets the incarnation too; the protocol then
+    satisfies Theorem 7.5's hypotheses and the crash engine defeats it.
+    """
+    kind = "nv" if nonvolatile else "volatile"
+    return DataLinkProtocol(
+        name=f"baratz-segall({kind})",
+        transmitter_factory=lambda: BsTransmitter(nonvolatile),
+        receiver_factory=lambda: BsReceiver(nonvolatile),
+        crash_resilient=nonvolatile,
+        description=(
+            "session handshake with incarnation numbers held in "
+            + ("non-volatile" if nonvolatile else "volatile")
+            + " storage; in-doubt messages are discarded on session reset"
+        ),
+    )

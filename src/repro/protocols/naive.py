@@ -1,0 +1,265 @@
+"""Strawman protocols used as negative controls.
+
+These deliberately broken protocols exercise specific failure modes of
+the specification checkers and the engines:
+
+* :func:`direct_protocol` -- fire-and-forget, no retransmission: loses
+  messages on lossy channels (violates (DL8) there) but is otherwise
+  honest.
+* :func:`eager_protocol` -- retransmits but the receiver performs **no
+  duplicate suppression**: the crash engine's fair extension delivers a
+  duplicate, exercising the (DL4)/Lemma 7.1 branch of Theorem 7.5.
+* :func:`spontaneous_protocol` -- the receiver can announce a message
+  that was never sent (violates (DL5) immediately).
+* :func:`message_peeking_protocol` -- branches on message identity (it
+  silently drops a designated message), so it is **not**
+  message-independent; the independence checker must flag it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+DATA = "DATA"
+ACK = "ACK"
+
+
+# ----------------------------------------------------------------------
+# Shared simple cores
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueueCore:
+    """A transmitter that simply queues and emits."""
+
+    queue: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+@dataclass(frozen=True)
+class InboxCore:
+    """A receiver that simply accumulates and delivers."""
+
+    inbox: Tuple[Message, ...] = ()
+    pending_acks: int = 0
+    awake: bool = False
+
+
+class _WakeMixin:
+    def on_wake(self, core):
+        return replace(core, awake=True)
+
+    def on_fail(self, core):
+        return replace(core, awake=False)
+
+
+# ----------------------------------------------------------------------
+# direct: fire and forget
+# ----------------------------------------------------------------------
+
+
+class DirectTransmitter(_WakeMixin, TransmitterLogic):
+    """Sends each message exactly once, never retransmits."""
+
+    def initial_core(self) -> QueueCore:
+        return QueueCore()
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core: QueueCore, packet: Packet) -> QueueCore:
+        return core
+
+    def enabled_sends(self, core: QueueCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet(DATA, (core.queue[0],))
+
+    def after_send(self, core: QueueCore, packet: Packet) -> QueueCore:
+        return replace(core, queue=core.queue[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({DATA})
+
+
+class DirectReceiver(_WakeMixin, ReceiverLogic):
+    """Delivers every data packet as it arrives."""
+
+    def initial_core(self) -> InboxCore:
+        return InboxCore()
+
+    def on_packet(self, core: InboxCore, packet: Packet) -> InboxCore:
+        if packet.header == DATA:
+            (message,) = packet.body
+            return replace(core, inbox=core.inbox + (message,))
+        return core
+
+    def enabled_sends(self, core: InboxCore) -> Iterable[Packet]:
+        return ()
+
+    def after_send(self, core: InboxCore, packet: Packet) -> InboxCore:
+        return core
+
+    def enabled_deliveries(self, core: InboxCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(self, core: InboxCore, message: Message) -> InboxCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({ACK})
+
+
+def direct_protocol() -> DataLinkProtocol:
+    """Fire-and-forget: honest but lossy (no retransmission)."""
+    return DataLinkProtocol(
+        name="naive-direct",
+        transmitter_factory=DirectTransmitter,
+        receiver_factory=DirectReceiver,
+        description="sends once, delivers everything; loses on lossy links",
+    )
+
+
+# ----------------------------------------------------------------------
+# eager: retransmits, receiver does not deduplicate
+# ----------------------------------------------------------------------
+
+
+class EagerTransmitter(_WakeMixin, TransmitterLogic):
+    """Retransmits the head message until an ACK arrives."""
+
+    def initial_core(self) -> QueueCore:
+        return QueueCore()
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core: QueueCore, packet: Packet) -> QueueCore:
+        if packet.header == ACK and core.queue:
+            return replace(core, queue=core.queue[1:])
+        return core
+
+    def enabled_sends(self, core: QueueCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet(DATA, (core.queue[0],))
+
+    def after_send(self, core: QueueCore, packet: Packet) -> QueueCore:
+        return core
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({DATA})
+
+
+class EagerReceiver(_WakeMixin, ReceiverLogic):
+    """Delivers and acknowledges every data packet: no dedup at all."""
+
+    def initial_core(self) -> InboxCore:
+        return InboxCore()
+
+    def on_packet(self, core: InboxCore, packet: Packet) -> InboxCore:
+        if packet.header == DATA:
+            (message,) = packet.body
+            return replace(
+                core,
+                inbox=core.inbox + (message,),
+                pending_acks=core.pending_acks + 1,
+            )
+        return core
+
+    def enabled_sends(self, core: InboxCore) -> Iterable[Packet]:
+        if core.awake and core.pending_acks:
+            yield Packet(ACK)
+
+    def after_send(self, core: InboxCore, packet: Packet) -> InboxCore:
+        return replace(core, pending_acks=core.pending_acks - 1)
+
+    def enabled_deliveries(self, core: InboxCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(self, core: InboxCore, message: Message) -> InboxCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({ACK})
+
+
+def eager_protocol() -> DataLinkProtocol:
+    """Retransmitting sender + non-deduplicating receiver."""
+    return DataLinkProtocol(
+        name="naive-eager",
+        transmitter_factory=EagerTransmitter,
+        receiver_factory=EagerReceiver,
+        description=(
+            "retransmits until acknowledged; receiver delivers every "
+            "copy (duplicates under retransmission)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# spontaneous: invents deliveries
+# ----------------------------------------------------------------------
+
+
+#: The message the spontaneous receiver invents.
+PHANTOM_MESSAGE = Message(-7, "phantom")
+
+
+class SpontaneousReceiver(DirectReceiver):
+    """Announces a phantom message once the link wakes."""
+
+    def initial_core(self) -> InboxCore:
+        return InboxCore()
+
+    def on_wake(self, core: InboxCore) -> InboxCore:
+        return replace(
+            core, awake=True, inbox=core.inbox + (PHANTOM_MESSAGE,)
+        )
+
+
+def spontaneous_protocol() -> DataLinkProtocol:
+    """Receiver invents a delivery: violates (DL5) immediately."""
+    return DataLinkProtocol(
+        name="naive-spontaneous",
+        transmitter_factory=DirectTransmitter,
+        receiver_factory=SpontaneousReceiver,
+        description="receiver announces a message nobody sent",
+    )
+
+
+# ----------------------------------------------------------------------
+# message peeking: not message-independent
+# ----------------------------------------------------------------------
+
+
+class PeekingTransmitter(DirectTransmitter):
+    """Silently drops every message whose identifier is even.
+
+    Branching on message content makes the protocol message-dependent;
+    the independence checker must reject it.
+    """
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        if message.ident % 2 == 0:
+            return core  # peeks at the message: drops "even" payloads
+        return replace(core, queue=core.queue + (message,))
+
+
+def message_peeking_protocol() -> DataLinkProtocol:
+    """A message-dependent protocol (drops messages by content)."""
+    return DataLinkProtocol(
+        name="naive-peeking",
+        transmitter_factory=PeekingTransmitter,
+        receiver_factory=DirectReceiver,
+        description="inspects message contents; not message-independent",
+    )

@@ -1,0 +1,247 @@
+"""A selective-repeat sliding-window ARQ protocol.
+
+Unlike Go-Back-N (:mod:`repro.protocols.sliding_window`), the receiver
+accepts and buffers any packet whose sequence number falls inside its
+window, delivering in order once gaps fill; acknowledgements are
+per-packet rather than cumulative.  Sequence numbers run modulo
+``N >= 2w`` (the classic selective-repeat requirement: the receiver
+window must never straddle an ambiguous wrap).
+
+Properties: correct over FIFO physical channels; **crashing**,
+**message-independent**, **bounded headers** -- defeated by both
+impossibility engines like its siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+DATA = "DATA"
+ACK = "ACK"
+
+#: Finite bound on the pending-acknowledgement queue (see the note in
+#: :mod:`repro.protocols.alternating_bit`): overflow equals ack loss.
+ACK_QUEUE_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class SrTransmitterCore:
+    """Window slots with per-slot acknowledged flags.
+
+    ``pending`` holds the not-yet-delivered-to-the-wire suffix;
+    ``window`` holds (message, acked) pairs currently in flight;
+    ``base_seq`` is the sequence number of ``window[0]``.
+    """
+
+    base_seq: int = 0
+    window: Tuple[Tuple[Message, bool], ...] = ()
+    pending: Tuple[Message, ...] = ()
+    rotation: int = 0
+    awake: bool = False
+
+
+@dataclass(frozen=True)
+class SrReceiverCore:
+    """Receive window: buffered out-of-order packets + delivery queue."""
+
+    expected: int = 0
+    buffer: Tuple[Tuple[int, Message], ...] = ()  # (offset, message)
+    inbox: Tuple[Message, ...] = ()
+    pending_acks: Tuple[int, ...] = ()
+    awake: bool = False
+
+
+def _fill_window(core: SrTransmitterCore, window_size: int) -> SrTransmitterCore:
+    """Promote pending messages into free window slots."""
+    window = core.window
+    pending = core.pending
+    while len(window) < window_size and pending:
+        window = window + ((pending[0], False),)
+        pending = pending[1:]
+    return replace(core, window=window, pending=pending)
+
+
+def _slide(core: SrTransmitterCore, modulus: int) -> SrTransmitterCore:
+    """Retire the acknowledged prefix of the window."""
+    window = core.window
+    base_seq = core.base_seq
+    while window and window[0][1]:
+        window = window[1:]
+        base_seq = (base_seq + 1) % modulus
+    return replace(core, window=window, base_seq=base_seq, rotation=0)
+
+
+class SrTransmitter(TransmitterLogic):
+    """Selective-repeat transmitting-station logic."""
+
+    def __init__(self, window: int = 2, modulus: int = 0):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window_size = window
+        self.modulus = modulus if modulus else 2 * window
+        if self.modulus < 2 * window:
+            raise ValueError("modulus must be at least 2 * window")
+
+    def initial_core(self) -> SrTransmitterCore:
+        return SrTransmitterCore()
+
+    def on_wake(self, core: SrTransmitterCore) -> SrTransmitterCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: SrTransmitterCore) -> SrTransmitterCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(
+        self, core: SrTransmitterCore, message: Message
+    ) -> SrTransmitterCore:
+        return _fill_window(
+            replace(core, pending=core.pending + (message,)),
+            self.window_size,
+        )
+
+    def on_packet(
+        self, core: SrTransmitterCore, packet: Packet
+    ) -> SrTransmitterCore:
+        kind, seq = packet.header
+        if kind != ACK:
+            return core
+        offset = (seq - core.base_seq) % self.modulus
+        if offset >= len(core.window):
+            return core  # stale or out-of-window acknowledgement
+        message, _ = core.window[offset]
+        window = (
+            core.window[:offset]
+            + ((message, True),)
+            + core.window[offset + 1 :]
+        )
+        core = _slide(replace(core, window=window), self.modulus)
+        return _fill_window(core, self.window_size)
+
+    def enabled_sends(self, core: SrTransmitterCore) -> Iterable[Packet]:
+        if not core.awake:
+            return
+        unacked = [
+            (offset, message)
+            for offset, (message, acked) in enumerate(core.window)
+            if not acked
+        ]
+        if not unacked:
+            return
+        start = core.rotation % len(unacked)
+        for step in range(len(unacked)):
+            offset, message = unacked[(start + step) % len(unacked)]
+            seq = (core.base_seq + offset) % self.modulus
+            yield Packet((DATA, seq), (message,))
+
+    def after_send(
+        self, core: SrTransmitterCore, packet: Packet
+    ) -> SrTransmitterCore:
+        # Stored modulo the window size (it only ever indexes into the
+        # unacked list) so the state space stays finite.
+        return replace(
+            core, rotation=(core.rotation + 1) % self.window_size
+        )
+
+    def header_space(self) -> FrozenSet:
+        return frozenset((DATA, seq) for seq in range(self.modulus))
+
+
+class SrReceiver(ReceiverLogic):
+    """Selective-repeat receiving-station logic."""
+
+    def __init__(self, window: int = 2, modulus: int = 0):
+        self.window_size = window
+        self.modulus = modulus if modulus else 2 * window
+
+    def initial_core(self) -> SrReceiverCore:
+        return SrReceiverCore()
+
+    def on_wake(self, core: SrReceiverCore) -> SrReceiverCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: SrReceiverCore) -> SrReceiverCore:
+        return replace(core, awake=False)
+
+    def _drain(self, core: SrReceiverCore) -> SrReceiverCore:
+        """Move the in-order prefix of the buffer into the inbox."""
+        buffer = dict(core.buffer)
+        inbox = core.inbox
+        expected = core.expected
+        while 0 in buffer:
+            inbox = inbox + (buffer.pop(0),)
+            buffer = {offset - 1: m for offset, m in buffer.items()}
+            expected = (expected + 1) % self.modulus
+        return replace(
+            core,
+            buffer=tuple(sorted(buffer.items())),
+            inbox=inbox,
+            expected=expected,
+        )
+
+    def on_packet(
+        self, core: SrReceiverCore, packet: Packet
+    ) -> SrReceiverCore:
+        kind, seq = packet.header
+        if kind != DATA:
+            return core
+        offset = (seq - core.expected) % self.modulus
+        if offset < self.window_size and offset not in dict(core.buffer):
+            (message,) = packet.body
+            core = replace(
+                core, buffer=tuple(sorted(dict(core.buffer).items() | {(offset, message)}))
+            )
+            core = self._drain(core)
+        # Acknowledge everything inside or below the window, so the
+        # transmitter's slot is cleared even for duplicates.
+        return replace(
+            core,
+            pending_acks=(core.pending_acks + (seq,))[-ACK_QUEUE_LIMIT:],
+        )
+
+    def enabled_sends(self, core: SrReceiverCore) -> Iterable[Packet]:
+        if core.awake and core.pending_acks:
+            yield Packet((ACK, core.pending_acks[0]))
+
+    def after_send(
+        self, core: SrReceiverCore, packet: Packet
+    ) -> SrReceiverCore:
+        return replace(core, pending_acks=core.pending_acks[1:])
+
+    def enabled_deliveries(self, core: SrReceiverCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(
+        self, core: SrReceiverCore, message: Message
+    ) -> SrReceiverCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset((ACK, seq) for seq in range(self.modulus))
+
+
+def selective_repeat_protocol(
+    window: int = 2, modulus: int = 0
+) -> DataLinkProtocol:
+    """A selective-repeat protocol (modulus defaults to ``2 * window``)."""
+    effective_modulus = modulus if modulus else 2 * window
+    return DataLinkProtocol(
+        name=f"selective-repeat(w={window},N={effective_modulus})",
+        transmitter_factory=lambda: SrTransmitter(
+            window, effective_modulus
+        ),
+        receiver_factory=lambda: SrReceiver(window, effective_modulus),
+        description=(
+            "selective-repeat ARQ with per-packet acknowledgements and "
+            "receiver-side buffering; correct over FIFO channels, "
+            "crashing, bounded headers"
+        ),
+    )

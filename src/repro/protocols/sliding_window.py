@@ -1,0 +1,204 @@
+"""A sliding-window ARQ protocol (HDLC/SDLC/LAPB style).
+
+Go-Back-N with window size ``w`` and sequence numbers modulo
+``N >= w + 1`` (the paper, Section 1: "sequence numbers are kept modulo
+a number that is at least one more than the size of the window").
+Acknowledgements are cumulative: an ACK carries the receiver's next
+expected sequence number.
+
+Like the protocols it models, this one is correct over FIFO physical
+channels once initialized, but it is **crashing**, **message-
+independent** and has **bounded headers** (2N of them), so both
+impossibility engines defeat it: the crash engine over FIFO channels
+(Theorem 7.5) and the bounded-header engine over non-FIFO channels
+(Theorem 8.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+DATA = "DATA"
+ACK = "ACK"
+
+#: Finite bound on the pending-acknowledgement queue (see the note in
+#: :mod:`repro.protocols.alternating_bit`): overflow equals ack loss.
+ACK_QUEUE_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class SwTransmitterCore:
+    """Transmitter: pending messages with the window at the front.
+
+    ``pending[:w]`` is the in-flight window; ``base_seq`` is the
+    sequence number (mod N) of ``pending[0]``.  ``rotation`` points at
+    the window slot to (re)transmit next, so that successive sends walk
+    the whole window instead of hammering the base packet -- this is
+    what gives a wide window its pipelining advantage.
+    """
+
+    base_seq: int = 0
+    pending: Tuple[Message, ...] = ()
+    rotation: int = 0
+    awake: bool = False
+
+
+@dataclass(frozen=True)
+class SwReceiverCore:
+    """Receiver: next expected sequence number + queues."""
+
+    expected: int = 0
+    inbox: Tuple[Message, ...] = ()
+    pending_acks: Tuple[int, ...] = ()
+    awake: bool = False
+
+
+class SwTransmitter(TransmitterLogic):
+    """Go-Back-N transmitting-station logic."""
+
+    def __init__(self, window: int = 2, modulus: int = 0):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.modulus = modulus if modulus else window + 1
+        if self.modulus < window + 1:
+            raise ValueError("modulus must be at least window + 1")
+
+    def initial_core(self) -> SwTransmitterCore:
+        return SwTransmitterCore()
+
+    def on_wake(self, core: SwTransmitterCore) -> SwTransmitterCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: SwTransmitterCore) -> SwTransmitterCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(
+        self, core: SwTransmitterCore, message: Message
+    ) -> SwTransmitterCore:
+        return replace(core, pending=core.pending + (message,))
+
+    def on_packet(
+        self, core: SwTransmitterCore, packet: Packet
+    ) -> SwTransmitterCore:
+        kind, value = packet.header
+        if kind != ACK:
+            return core
+        # Cumulative ACK: ``value`` is the receiver's next expected
+        # sequence number; it acknowledges ``distance`` window slots.
+        distance = (value - core.base_seq) % self.modulus
+        if 0 < distance <= min(self.window, len(core.pending)):
+            return replace(
+                core,
+                base_seq=value,
+                pending=core.pending[distance:],
+                rotation=0,
+            )
+        return core
+
+    def enabled_sends(self, core: SwTransmitterCore) -> Iterable[Packet]:
+        if not core.awake:
+            return
+        in_flight = min(self.window, len(core.pending))
+        start = core.rotation % in_flight if in_flight else 0
+        for step in range(in_flight):
+            offset = (start + step) % in_flight
+            seq = (core.base_seq + offset) % self.modulus
+            yield Packet((DATA, seq), (core.pending[offset],))
+
+    def after_send(
+        self, core: SwTransmitterCore, packet: Packet
+    ) -> SwTransmitterCore:
+        _, seq = packet.header
+        offset = (seq - core.base_seq) % self.modulus
+        return replace(core, rotation=offset + 1)
+
+    def header_space(self) -> FrozenSet:
+        return frozenset((DATA, seq) for seq in range(self.modulus))
+
+
+class SwReceiver(ReceiverLogic):
+    """Go-Back-N receiving-station logic (in-order acceptance)."""
+
+    def __init__(self, window: int = 2, modulus: int = 0):
+        self.window = window
+        self.modulus = modulus if modulus else window + 1
+
+    def initial_core(self) -> SwReceiverCore:
+        return SwReceiverCore()
+
+    def on_wake(self, core: SwReceiverCore) -> SwReceiverCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: SwReceiverCore) -> SwReceiverCore:
+        return replace(core, awake=False)
+
+    def on_packet(
+        self, core: SwReceiverCore, packet: Packet
+    ) -> SwReceiverCore:
+        kind, seq = packet.header
+        if kind != DATA:
+            return core
+        if seq == core.expected:
+            (message,) = packet.body
+            core = replace(
+                core,
+                expected=(core.expected + 1) % self.modulus,
+                inbox=core.inbox + (message,),
+            )
+        # Acknowledge with the (possibly advanced) next expected number;
+        # one acknowledgement per data packet keeps executions quiescent.
+        return replace(
+            core,
+            pending_acks=(core.pending_acks + (core.expected,))[
+                -ACK_QUEUE_LIMIT:
+            ],
+        )
+
+    def enabled_sends(self, core: SwReceiverCore) -> Iterable[Packet]:
+        if core.awake and core.pending_acks:
+            yield Packet((ACK, core.pending_acks[0]))
+
+    def after_send(
+        self, core: SwReceiverCore, packet: Packet
+    ) -> SwReceiverCore:
+        return replace(core, pending_acks=core.pending_acks[1:])
+
+    def enabled_deliveries(self, core: SwReceiverCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(
+        self, core: SwReceiverCore, message: Message
+    ) -> SwReceiverCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset((ACK, seq) for seq in range(self.modulus))
+
+
+def sliding_window_protocol(
+    window: int = 2, modulus: int = 0
+) -> DataLinkProtocol:
+    """A Go-Back-N protocol with the given window and modulus.
+
+    ``modulus`` defaults to ``window + 1`` (the minimum legal value).
+    """
+    effective_modulus = modulus if modulus else window + 1
+    return DataLinkProtocol(
+        name=f"sliding-window(w={window},N={effective_modulus})",
+        transmitter_factory=lambda: SwTransmitter(window, effective_modulus),
+        receiver_factory=lambda: SwReceiver(window, effective_modulus),
+        description=(
+            "Go-Back-N ARQ with cumulative acknowledgements; correct "
+            "over FIFO channels, crashing, bounded headers"
+        ),
+    )

@@ -1,0 +1,206 @@
+"""Stenning's protocol and its bounded-header (modulo) weakening.
+
+Stenning's protocol (paper, Section 1) gives every message a distinct,
+ever-growing sequence number, so it works over physical channels that
+reorder packets arbitrarily -- at the price of *unbounded headers*.
+That trade-off is exactly what Theorem 8.5 proves necessary: the header
+engine rejects Stenning's protocol up front (its hypotheses do not
+apply), while the ``modulo_stenning_protocol(N)`` family -- identical
+logic with sequence numbers reduced modulo ``N`` -- has ``2N`` headers
+and is defeated by the engine, with pumping effort growing with ``N``.
+
+Stenning's protocol is still **crashing**, so the crash engine defeats
+it over FIFO channels (Theorem 7.5 has no header hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..alphabets import Message, Packet
+from ..datalink.protocol import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+)
+
+DATA = "DATA"
+ACK = "ACK"
+
+#: Finite bound on the pending-acknowledgement queue (see the note in
+#: :mod:`repro.protocols.alternating_bit`): overflow equals ack loss.
+ACK_QUEUE_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class StenningTransmitterCore:
+    """Transmitter: stop-and-wait on the head of the pending queue."""
+
+    seq: int = 0
+    pending: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+@dataclass(frozen=True)
+class StenningReceiverCore:
+    """Receiver: next expected sequence number + queues."""
+
+    expected: int = 0
+    inbox: Tuple[Message, ...] = ()
+    pending_acks: Tuple[int, ...] = ()
+    awake: bool = False
+
+
+class StenningTransmitter(TransmitterLogic):
+    """Stenning transmitting-station logic.
+
+    ``modulus = 0`` means true Stenning (unbounded sequence numbers);
+    a positive modulus yields the bounded-header weakening.
+    """
+
+    def __init__(self, modulus: int = 0):
+        self.modulus = modulus
+
+    def _wrap(self, seq: int) -> int:
+        return seq % self.modulus if self.modulus else seq
+
+    def initial_core(self) -> StenningTransmitterCore:
+        return StenningTransmitterCore()
+
+    def on_wake(self, core: StenningTransmitterCore) -> StenningTransmitterCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: StenningTransmitterCore) -> StenningTransmitterCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(
+        self, core: StenningTransmitterCore, message: Message
+    ) -> StenningTransmitterCore:
+        return replace(core, pending=core.pending + (message,))
+
+    def on_packet(
+        self, core: StenningTransmitterCore, packet: Packet
+    ) -> StenningTransmitterCore:
+        kind, seq = packet.header
+        if kind == ACK and seq == self._wrap(core.seq) and core.pending:
+            return replace(
+                core, seq=self._wrap(core.seq + 1), pending=core.pending[1:]
+            )
+        return core
+
+    def enabled_sends(
+        self, core: StenningTransmitterCore
+    ) -> Iterable[Packet]:
+        if core.awake and core.pending:
+            yield Packet((DATA, self._wrap(core.seq)), (core.pending[0],))
+
+    def after_send(
+        self, core: StenningTransmitterCore, packet: Packet
+    ) -> StenningTransmitterCore:
+        return core
+
+    def header_space(self) -> Optional[FrozenSet]:
+        if not self.modulus:
+            return None  # unbounded headers: true Stenning
+        return frozenset((DATA, seq) for seq in range(self.modulus))
+
+
+class StenningReceiver(ReceiverLogic):
+    """Stenning receiving-station logic."""
+
+    def __init__(self, modulus: int = 0):
+        self.modulus = modulus
+
+    def _wrap(self, seq: int) -> int:
+        return seq % self.modulus if self.modulus else seq
+
+    def initial_core(self) -> StenningReceiverCore:
+        return StenningReceiverCore()
+
+    def on_wake(self, core: StenningReceiverCore) -> StenningReceiverCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: StenningReceiverCore) -> StenningReceiverCore:
+        return replace(core, awake=False)
+
+    def on_packet(
+        self, core: StenningReceiverCore, packet: Packet
+    ) -> StenningReceiverCore:
+        kind, seq = packet.header
+        if kind != DATA:
+            return core
+        if seq == self._wrap(core.expected):
+            (message,) = packet.body
+            core = replace(
+                core,
+                expected=core.expected + 1,
+                inbox=core.inbox + (message,),
+            )
+        # Acknowledge the sequence number received (once per packet).
+        return replace(
+            core,
+            pending_acks=(core.pending_acks + (seq,))[-ACK_QUEUE_LIMIT:],
+        )
+
+    def enabled_sends(self, core: StenningReceiverCore) -> Iterable[Packet]:
+        if core.awake and core.pending_acks:
+            yield Packet((ACK, core.pending_acks[0]))
+
+    def after_send(
+        self, core: StenningReceiverCore, packet: Packet
+    ) -> StenningReceiverCore:
+        return replace(core, pending_acks=core.pending_acks[1:])
+
+    def enabled_deliveries(
+        self, core: StenningReceiverCore
+    ) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(
+        self, core: StenningReceiverCore, message: Message
+    ) -> StenningReceiverCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> Optional[FrozenSet]:
+        if not self.modulus:
+            return None
+        return frozenset((ACK, seq) for seq in range(self.modulus))
+
+
+def stenning_protocol() -> DataLinkProtocol:
+    """True Stenning: distinct sequence numbers, unbounded headers.
+
+    Weakly correct over arbitrary non-FIFO physical channels -- the
+    positive counterpart of Theorem 8.5.
+    """
+    return DataLinkProtocol(
+        name="stenning",
+        transmitter_factory=StenningTransmitter,
+        receiver_factory=StenningReceiver,
+        description=(
+            "stop-and-wait ARQ with unbounded sequence numbers; "
+            "tolerates arbitrary reordering, headers grow without bound"
+        ),
+    )
+
+
+def modulo_stenning_protocol(modulus: int) -> DataLinkProtocol:
+    """Stenning with sequence numbers modulo ``N``: bounded headers.
+
+    ``modulo_stenning_protocol(2)`` is operationally the alternating-bit
+    protocol.  The family parameterizes the bounded-header engine's
+    workload: pumping effort grows with the ``2N`` header classes.
+    """
+    if modulus < 2:
+        raise ValueError("modulus must be at least 2")
+    return DataLinkProtocol(
+        name=f"modulo-stenning(N={modulus})",
+        transmitter_factory=lambda: StenningTransmitter(modulus),
+        receiver_factory=lambda: StenningReceiver(modulus),
+        description=(
+            "Stenning's protocol with sequence numbers reduced modulo N; "
+            "bounded headers, so Theorem 8.5 applies"
+        ),
+    )

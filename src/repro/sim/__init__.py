@@ -1,0 +1,44 @@
+"""Simulation harness: composed systems, schedulers, faults, metrics."""
+
+from .faults import FaultPlan, GeneratedScript, crash_storm, generate_script
+from .metrics import (
+    ChannelStats,
+    DeliveryStats,
+    channel_stats,
+    delivery_stats,
+    distinct_headers_used,
+)
+from .network import (
+    DataLinkSystem,
+    custom_system,
+    fifo_system,
+    permissive_system,
+)
+from .runner import ScenarioResult, run_batch, run_scenario
+from .scheduler import (
+    behaviors_under_schedules,
+    deterministic_tie_break,
+    seeded_tie_break,
+)
+
+__all__ = [
+    "ChannelStats",
+    "DataLinkSystem",
+    "DeliveryStats",
+    "FaultPlan",
+    "GeneratedScript",
+    "ScenarioResult",
+    "behaviors_under_schedules",
+    "channel_stats",
+    "crash_storm",
+    "custom_system",
+    "delivery_stats",
+    "deterministic_tie_break",
+    "distinct_headers_used",
+    "fifo_system",
+    "generate_script",
+    "permissive_system",
+    "run_batch",
+    "run_scenario",
+    "seeded_tie_break",
+]

@@ -1,0 +1,122 @@
+"""Metrics extracted from executions: deliveries, latency, header census.
+
+These operate on full execution fragments of a composed data-link
+system (so they can see the hidden ``send_pkt``/``receive_pkt`` events
+as well as the external data-link actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alphabets import Message, Packet
+from ..ioa.actions import Action
+from ..ioa.execution import ExecutionFragment
+from ..channels.actions import RECEIVE_PKT, SEND_PKT
+from ..datalink.actions import RECEIVE_MSG, SEND_MSG
+from ..datalink.message_independence import packet_class
+
+
+@dataclass
+class DeliveryStats:
+    """Per-run delivery statistics."""
+
+    sent: int
+    delivered: int
+    duplicates: int
+    latencies: Tuple[int, ...]  # steps from send_msg to receive_msg
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 1.0
+
+    @property
+    def mean_latency(self) -> float:
+        return (
+            sum(self.latencies) / len(self.latencies)
+            if self.latencies
+            else 0.0
+        )
+
+
+@dataclass
+class ChannelStats:
+    """Per-run packet-level statistics for one channel direction."""
+
+    packets_sent: int
+    packets_received: int
+    distinct_headers: int
+    header_census: Dict[object, int] = field(default_factory=dict)
+
+    @property
+    def loss_ratio(self) -> float:
+        if not self.packets_sent:
+            return 0.0
+        return 1.0 - self.packets_received / self.packets_sent
+
+
+def delivery_stats(
+    fragment: ExecutionFragment, t: str = "t", r: str = "r"
+) -> DeliveryStats:
+    """Delivery counts and latencies from a full execution fragment."""
+    send_key = (SEND_MSG, (t, r))
+    receive_key = (RECEIVE_MSG, (t, r))
+    send_index: Dict[Message, int] = {}
+    delivered: Dict[Message, int] = {}
+    duplicates = 0
+    latencies: List[int] = []
+    for index, action in enumerate(fragment.actions):
+        if action.key == send_key:
+            send_index.setdefault(action.payload, index)
+        elif action.key == receive_key:
+            message = action.payload
+            if message in delivered:
+                duplicates += 1
+                continue
+            delivered[message] = index
+            if message in send_index:
+                latencies.append(index - send_index[message])
+    return DeliveryStats(
+        sent=len(send_index),
+        delivered=len(delivered),
+        duplicates=duplicates,
+        latencies=tuple(latencies),
+    )
+
+
+def channel_stats(
+    fragment: ExecutionFragment, src: str, dst: str
+) -> ChannelStats:
+    """Packet counts and header census for one channel direction."""
+    send_key = (SEND_PKT, (src, dst))
+    receive_key = (RECEIVE_PKT, (src, dst))
+    sent = 0
+    received = 0
+    census: Dict[object, int] = {}
+    for action in fragment.actions:
+        if action.key == send_key:
+            sent += 1
+            packet: Packet = action.payload
+            cls = packet_class(packet)
+            census[cls] = census.get(cls, 0) + 1
+        elif action.key == receive_key:
+            received += 1
+    return ChannelStats(
+        packets_sent=sent,
+        packets_received=received,
+        distinct_headers=len(census),
+        header_census=census,
+    )
+
+
+def distinct_headers_used(
+    fragment: ExecutionFragment, src: str = "t", dst: str = "r"
+) -> int:
+    """How many distinct packet classes the protocol used on a channel.
+
+    This is the measurable form of the Section 9 discussion: Stenning's
+    protocol uses a number of headers linear in the number of messages,
+    while sliding-window protocols use O(1).
+    """
+    return channel_stats(fragment, src, dst).distinct_headers

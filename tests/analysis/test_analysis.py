@@ -1,0 +1,115 @@
+"""Tests for trace auditing and header-growth measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message
+from repro.analysis import (
+    check_datalink_trace,
+    check_physical_trace,
+    measure_header_growth,
+)
+from repro.channels import receive_pkt, send_pkt, wake
+from repro.datalink import receive_msg, send_msg
+from repro.protocols import (
+    alternating_bit_protocol,
+    modulo_stenning_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+T, R = "t", "r"
+M1, M2 = Message(1), Message(2)
+
+
+class TestDatalinkReport:
+    def test_clean_trace_ok(self):
+        trace = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+        ]
+        report = check_datalink_trace(trace)
+        assert report.ok
+        assert report.holds("DL4")
+        assert report.holds("valid")
+
+    def test_violations_enumerated(self):
+        trace = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+            receive_msg(T, R, M1),
+            receive_msg(T, R, M2),
+        ]
+        report = check_datalink_trace(trace)
+        names = {r.name for r in report.violations}
+        assert "DL4" in names and "DL5" in names
+
+    def test_describe_renders(self):
+        report = check_datalink_trace([wake(T, R), wake(R, T)])
+        text = report.describe()
+        assert "DL1" in text and "ok" in text
+
+
+class TestPhysicalReport:
+    def test_clean_channel_trace(self):
+        from repro.alphabets import Packet
+
+        p = Packet("h", (), uid=1)
+        trace = [wake(T, R), send_pkt(T, R, p), receive_pkt(T, R, p)]
+        report = check_physical_trace(trace, T, R)
+        assert report.ok
+
+    def test_reorder_flagged(self):
+        from repro.alphabets import Packet
+
+        p1, p2 = Packet("a", (), uid=1), Packet("b", (), uid=2)
+        trace = [
+            wake(T, R),
+            send_pkt(T, R, p1),
+            send_pkt(T, R, p2),
+            receive_pkt(T, R, p2),
+            receive_pkt(T, R, p1),
+        ]
+        report = check_physical_trace(trace, T, R)
+        assert not report.holds("PL5")
+
+
+class TestHeaderGrowth:
+    def test_stenning_linear(self):
+        series = measure_header_growth(
+            stenning_protocol(), checkpoints=(1, 2, 4, 8)
+        )
+        counts = [p.total_distinct for p in series.points]
+        assert counts == [2, 4, 8, 16]  # data + ack header per message
+        assert series.slope_estimate() == 2.0
+        assert not series.is_bounded()
+
+    def test_sliding_window_bounded(self):
+        series = measure_header_growth(
+            sliding_window_protocol(2), checkpoints=(1, 2, 4, 8, 16)
+        )
+        assert series.is_bounded()
+        assert series.points[-1].total_distinct <= 6
+
+    def test_modulo_stenning_bounded_by_modulus(self):
+        series = measure_header_growth(
+            modulo_stenning_protocol(4), checkpoints=(1, 4, 8, 16)
+        )
+        assert series.is_bounded(bound=8)
+
+    def test_abp_uses_four_headers(self):
+        series = measure_header_growth(
+            alternating_bit_protocol(), checkpoints=(4, 8)
+        )
+        assert series.points[-1].total_distinct == 4
+
+    def test_non_fifo_measurement(self):
+        series = measure_header_growth(
+            stenning_protocol(), checkpoints=(1, 2), fifo=False
+        )
+        assert series.points[-1].messages == 2

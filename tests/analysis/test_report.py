@@ -1,0 +1,68 @@
+"""Tests for the structured experiment report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table, run_all, to_markdown, to_text
+from repro.analysis.report import (
+    e1_crash_table,
+    e2_header_table,
+    e6_kbound_table,
+)
+
+
+class TestTable:
+    def test_add_and_render_text(self):
+        table = Table("EX", "demo", ("a", "bb"))
+        table.add(1, "x")
+        table.add(22, "yy")
+        text = table.to_text()
+        assert "[EX] demo" in text
+        assert "22" in text and "yy" in text
+
+    def test_render_markdown(self):
+        table = Table("EX", "demo", ("a", "b"), notes=("a note",))
+        table.add("1", "2")
+        md = table.to_markdown()
+        assert md.startswith("### EX")
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+        assert "*a note*" in md
+
+    def test_empty_table_renders(self):
+        assert "demo" in Table("EX", "demo", ("a",)).to_text()
+
+
+class TestExperimentTables:
+    def test_e1_all_defeated(self):
+        table = e1_crash_table()
+        # Every row except the non-volatile control shows a verdict.
+        defeated = [r for r in table.rows if "rejected" not in r[1]]
+        assert all(
+            r[1] in ("liveness", "duplicate-delivery", "unsent-delivery")
+            for r in defeated
+        )
+        rejected = [r for r in table.rows if "rejected" in r[1]]
+        assert len(rejected) == 1
+
+    def test_e2_rounds_below_bound(self):
+        table = e2_header_table()
+        for row in table.rows:
+            if row[3] in ("-", ""):
+                continue
+            assert int(row[3]) <= int(row[4])
+
+    def test_e6_all_one_bounded(self):
+        table = e6_kbound_table()
+        assert all(row[1] == "1" for row in table.rows)
+
+    def test_run_all_subset(self):
+        tables = run_all(only=["E6"])
+        assert len(tables) == 1
+        assert tables[0].ident == "E6"
+
+    def test_renderers_compose(self):
+        tables = run_all(only=["E6"])
+        assert "E6" in to_text(tables)
+        assert "### E6" in to_markdown(tables)

@@ -1,0 +1,248 @@
+"""Tests for delivery sets and the ``del`` surgery (paper 6.1, 6.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.delivery_set import (
+    DeliverySet,
+    DeliverySetError,
+    random_lossy_fifo,
+    random_reordering,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def delivery_sets(draw, max_len: int = 12):
+    """Arbitrary legal delivery sets with a short explicit prefix."""
+    length = draw(st.integers(0, max_len))
+    pool = draw(
+        st.permutations(list(range(1, max_len * 2 + 1)))
+    )
+    prefix = tuple(pool[:length])
+    floor = max(prefix) if prefix else 0
+    tail_offset = draw(st.integers(0, 5)) + max(0, floor - length)
+    return DeliverySet(prefix, tail_offset)
+
+
+@st.composite
+def monotone_delivery_sets(draw, max_len: int = 12):
+    length = draw(st.integers(0, max_len))
+    indices = draw(
+        st.lists(
+            st.integers(1, max_len * 3),
+            min_size=length,
+            max_size=length,
+            unique=True,
+        )
+    )
+    prefix = tuple(sorted(indices))
+    floor = max(prefix) if prefix else 0
+    tail_offset = draw(st.integers(0, 5)) + max(0, floor - length)
+    return DeliverySet(prefix, tail_offset)
+
+
+# ----------------------------------------------------------------------
+# Construction and invariants
+# ----------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_fifo_is_identity(self):
+        fifo = DeliverySet.fifo()
+        assert [fifo.source_of(j) for j in range(1, 6)] == [1, 2, 3, 4, 5]
+        assert fifo.is_monotone()
+
+    def test_duplicate_send_index_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet((1, 1), 1)
+
+    def test_nonpositive_index_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet((0,), 1)
+
+    def test_tail_collision_rejected(self):
+        # prefix uses 5; first tail slot would be 2 + offset.
+        with pytest.raises(DeliverySetError):
+            DeliverySet((5,), 2)  # first tail index = 2+2 = 4 < 5
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet((), -1)
+
+    def test_from_pairs(self):
+        ds = DeliverySet.from_pairs([(2, 1), (1, 2), (3, 3)])
+        assert ds.source_of(1) == 2
+        assert ds.source_of(2) == 1
+        assert ds.source_of(3) == 3
+
+    def test_from_pairs_gap_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet.from_pairs([(1, 1), (3, 3)])
+
+    def test_from_pairs_duplicate_slot_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet.from_pairs([(1, 1), (2, 1)])
+
+
+class TestLookup:
+    def test_slot_of_prefix(self):
+        ds = DeliverySet((3, 1), 3)
+        assert ds.slot_of(3) == 1
+        assert ds.slot_of(1) == 2
+
+    def test_slot_of_tail(self):
+        ds = DeliverySet((3, 1), 3)
+        # slot 3 -> 3+3 = 6
+        assert ds.source_of(3) == 6
+        assert ds.slot_of(6) == 3
+
+    def test_lost_index(self):
+        ds = DeliverySet((3, 1), 3)
+        assert ds.is_lost(2)
+        assert ds.lost_indices(6) == (2, 4, 5)
+
+    def test_pairs_iteration(self):
+        ds = DeliverySet((2,), 1)
+        assert list(ds.pairs(3)) == [(2, 1), (3, 2), (4, 3)]
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(DeliverySetError):
+            DeliverySet.fifo().source_of(0)
+
+
+class TestDeleteSurgery:
+    def test_delete_prefix_slot(self):
+        ds = DeliverySet((2, 1, 3), 0)
+        deleted = ds.delete_slot(2)  # remove (1, 2)
+        assert deleted.source_of(1) == 2
+        assert deleted.source_of(2) == 3
+        assert deleted.is_lost(1)
+
+    def test_delete_shifts_tail(self):
+        ds = DeliverySet((1,), 0)  # slots: 1->1, 2->2, 3->3 ...
+        deleted = ds.delete_slot(2)  # remove (2, 2)
+        assert deleted.source_of(2) == 3
+        assert deleted.is_lost(2)
+
+    def test_delete_tail_slot_materializes_prefix(self):
+        ds = DeliverySet.fifo()
+        deleted = ds.delete_slot(3)
+        assert deleted.source_of(1) == 1
+        assert deleted.source_of(2) == 2
+        assert deleted.source_of(3) == 4
+        assert deleted.is_lost(3)
+
+    def test_delete_pair_validates(self):
+        ds = DeliverySet.fifo()
+        with pytest.raises(DeliverySetError):
+            ds.delete_pair(5, 1)
+        assert ds.delete_pair(1, 1).is_lost(1)
+
+    def test_delete_slots_batch(self):
+        ds = DeliverySet.fifo()
+        deleted = ds.delete_slots([1, 3])
+        # Original slots 1 and 3 (sends 1 and 3) are gone.
+        assert deleted.is_lost(1)
+        assert deleted.is_lost(3)
+        assert deleted.source_of(1) == 2
+        assert deleted.source_of(2) == 4
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+
+
+class TestProperties:
+    @given(delivery_sets())
+    def test_slots_unique_per_send_index(self, ds):
+        seen = {}
+        for j in range(1, 30):
+            i = ds.source_of(j)
+            assert i not in seen, "send index delivered twice"
+            seen[i] = j
+
+    @given(delivery_sets())
+    def test_slot_of_inverts_source_of(self, ds):
+        for j in range(1, 20):
+            assert ds.slot_of(ds.source_of(j)) == j
+
+    @given(monotone_delivery_sets())
+    def test_monotone_strategy_is_monotone(self, ds):
+        assert ds.is_monotone()
+
+    @given(monotone_delivery_sets(), st.integers(1, 15))
+    def test_delete_preserves_monotonicity(self, ds, slot):
+        # The paper notes: if S is monotone, so is del(S, X).
+        assert ds.delete_slot(slot).is_monotone()
+
+    @given(delivery_sets(), st.integers(1, 15))
+    def test_delete_removes_and_shifts(self, ds, slot):
+        deleted = ds.delete_slot(slot)
+        victim = ds.source_of(slot)
+        assert deleted.is_lost(victim)
+        for j in range(1, slot):
+            assert deleted.source_of(j) == ds.source_of(j)
+        for j in range(slot, 20):
+            assert deleted.source_of(j) == ds.source_of(j + 1)
+
+    @given(delivery_sets())
+    def test_totality(self, ds):
+        # Every receive slot has a source: totality of the relation.
+        for j in range(1, 50):
+            assert ds.source_of(j) >= 1
+
+
+class TestScriptedGenerators:
+    def test_lossy_fifo_is_monotone(self):
+        for seed in range(10):
+            assert random_lossy_fifo(seed, 0.4, 50).is_monotone()
+
+    def test_lossy_fifo_zero_loss_is_fifo(self):
+        ds = random_lossy_fifo(0, 0.0, 50)
+        assert [ds.source_of(j) for j in range(1, 51)] == list(
+            range(1, 51)
+        )
+
+    def test_lossy_fifo_loses_roughly_at_rate(self):
+        ds = random_lossy_fifo(42, 0.5, 1000)
+        lost = len(ds.lost_indices(1000))
+        assert 350 < lost < 650
+
+    def test_lossy_fifo_deterministic(self):
+        assert random_lossy_fifo(7, 0.3, 100) == random_lossy_fifo(
+            7, 0.3, 100
+        )
+
+    def test_lossy_fifo_invalid_rate(self):
+        with pytest.raises(DeliverySetError):
+            random_lossy_fifo(0, 1.0, 10)
+
+    def test_reordering_valid_delivery_set(self):
+        for seed in range(10):
+            ds = random_reordering(seed, 0.2, 4, 50)
+            # Valid by construction; spot check invertibility.
+            for j in range(1, 40):
+                assert ds.slot_of(ds.source_of(j)) == j
+
+    def test_reordering_actually_reorders(self):
+        reordered = any(
+            not random_reordering(seed, 0.0, 8, 64).is_monotone()
+            for seed in range(10)
+        )
+        assert reordered
+
+    def test_reordering_window_one_is_fifo(self):
+        assert random_reordering(3, 0.0, 1, 50).is_monotone()
+
+    def test_reordering_invalid_window(self):
+        with pytest.raises(DeliverySetError):
+            random_reordering(0, 0.0, 0, 10)

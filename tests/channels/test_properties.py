@@ -1,0 +1,185 @@
+"""Tests for the physical-layer trace properties (PL1)-(PL6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Packet
+from repro.channels import (
+    crash,
+    fail,
+    pl1,
+    pl2,
+    pl3,
+    pl4,
+    pl5,
+    pl6,
+    pl6_finite_diagnostic,
+    pl_well_formed,
+    receive_pkt,
+    send_pkt,
+    unbounded_working_interval,
+    wake,
+    working_intervals,
+)
+from repro.channels.properties import crash_intervals
+
+T, R = "t", "r"
+P1 = Packet("a", (), uid=1)
+P2 = Packet("b", (), uid=2)
+P3 = Packet("c", (), uid=3)
+
+
+def w():
+    return wake(T, R)
+
+
+def f():
+    return fail(T, R)
+
+
+def c():
+    return crash(T, R)
+
+
+def s(p):
+    return send_pkt(T, R, p)
+
+
+def rcv(p):
+    return receive_pkt(T, R, p)
+
+
+class TestIntervals:
+    def test_crash_intervals_no_crash(self):
+        assert crash_intervals([w(), f()], (T, R)) == [(0, 2)]
+
+    def test_crash_intervals_split(self):
+        schedule = [w(), c(), w(), f(), c(), w()]
+        assert crash_intervals(schedule, (T, R)) == [
+            (0, 1),
+            (2, 4),
+            (5, 6),
+        ]
+
+    def test_working_intervals_basic(self):
+        schedule = [w(), s(P1), f(), w(), s(P2)]
+        assert working_intervals(schedule, (T, R)) == [(1, 2), (4, 5)]
+
+    def test_working_interval_ended_by_crash(self):
+        schedule = [w(), s(P1), c(), w()]
+        assert working_intervals(schedule, (T, R)) == [(1, 2), (4, 4)]
+
+    def test_unbounded_interval_present(self):
+        schedule = [w(), f(), w(), s(P1)]
+        assert unbounded_working_interval(schedule, (T, R)) == (3, 4)
+
+    def test_unbounded_interval_absent_after_fail(self):
+        assert unbounded_working_interval([w(), f()], (T, R)) is None
+
+    def test_unbounded_interval_absent_without_wake(self):
+        assert unbounded_working_interval([], (T, R)) is None
+
+    def test_unbounded_interval_reset_by_crash_then_wake(self):
+        schedule = [w(), c(), w()]
+        assert unbounded_working_interval(schedule, (T, R)) == (3, 3)
+
+
+class TestWellFormed:
+    def test_empty_ok(self):
+        assert pl_well_formed([], T, R).holds
+
+    def test_alternation_ok(self):
+        assert pl_well_formed([w(), f(), w(), f()], T, R).holds
+
+    def test_double_wake_violates(self):
+        result = pl_well_formed([w(), w()], T, R)
+        assert not result.holds
+        assert "event 1" in result.witness
+
+    def test_fail_first_violates(self):
+        assert not pl_well_formed([f()], T, R).holds
+
+    def test_crash_resets_alternation(self):
+        # wake crash wake: fine -- the crash includes an implicit failure.
+        assert pl_well_formed([w(), c(), w()], T, R).holds
+
+    def test_other_direction_ignored(self):
+        assert pl_well_formed([wake(R, T), wake(R, T), w()], T, R).holds
+
+
+class TestPl1:
+    def test_send_in_interval_ok(self):
+        assert pl1([w(), s(P1)], T, R).holds
+
+    def test_send_before_wake_violates(self):
+        assert not pl1([s(P1), w()], T, R).holds
+
+    def test_send_after_fail_violates(self):
+        assert not pl1([w(), f(), s(P1)], T, R).holds
+
+
+class TestPl2Pl3:
+    def test_unique_sends_ok(self):
+        assert pl2([w(), s(P1), s(P2)], T, R).holds
+
+    def test_duplicate_send_violates(self):
+        assert not pl2([w(), s(P1), s(P1)], T, R).holds
+
+    def test_duplicate_receive_violates(self):
+        schedule = [w(), s(P1), rcv(P1), rcv(P1)]
+        assert not pl3(schedule, T, R).holds
+
+    def test_uid_distinguishes_otherwise_equal_packets(self):
+        twin = Packet("a", (), uid=99)
+        assert pl2([w(), s(P1), s(twin)], T, R).holds
+
+
+class TestPl4:
+    def test_receive_after_send_ok(self):
+        assert pl4([w(), s(P1), rcv(P1)], T, R).holds
+
+    def test_receive_before_send_violates(self):
+        assert not pl4([w(), rcv(P1), s(P1)], T, R).holds
+
+    def test_receive_never_sent_violates(self):
+        assert not pl4([w(), rcv(P1)], T, R).holds
+
+
+class TestPl5:
+    def test_fifo_ok(self):
+        schedule = [w(), s(P1), s(P2), rcv(P1), rcv(P2)]
+        assert pl5(schedule, T, R).holds
+
+    def test_gap_ok(self):
+        # P1 lost: delivery of later P2 alone is still FIFO.
+        schedule = [w(), s(P1), s(P2), rcv(P2)]
+        assert pl5(schedule, T, R).holds
+
+    def test_reorder_violates(self):
+        schedule = [w(), s(P1), s(P2), rcv(P2), rcv(P1)]
+        result = pl5(schedule, T, R)
+        assert not result.holds
+        assert "out of FIFO order" in result.witness
+
+    def test_interleaved_send_receive_ok(self):
+        schedule = [w(), s(P1), rcv(P1), s(P2), rcv(P2)]
+        assert pl5(schedule, T, R).holds
+
+
+class TestPl6:
+    def test_vacuous_on_finite(self):
+        assert pl6([w(), s(P1)], T, R).holds
+
+    def test_finite_diagnostic_flags_dead_channel(self):
+        result = pl6_finite_diagnostic([w(), s(P1), s(P2)], T, R)
+        assert not result.holds
+
+    def test_finite_diagnostic_ok_with_delivery(self):
+        assert pl6_finite_diagnostic([w(), s(P1), rcv(P1)], T, R).holds
+
+    def test_finite_diagnostic_ok_without_unbounded_interval(self):
+        assert pl6_finite_diagnostic([w(), s(P1), f()], T, R).holds
+
+    def test_finite_diagnostic_ok_without_sends(self):
+        assert pl6_finite_diagnostic([w()], T, R).holds

@@ -1,0 +1,66 @@
+"""Tests for the scripted channel factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Packet
+from repro.channels import (
+    lossy_fifo_channel,
+    perfect_fifo_channel,
+    reordering_channel,
+    send_pkt,
+)
+
+
+class TestPerfectFifo:
+    def test_no_losses(self):
+        channel = perfect_fifo_channel("t", "r")
+        state = channel.initial_state()
+        pkts = [Packet(f"h{i}", (), uid=i) for i in range(1, 6)]
+        for packet in pkts:
+            state = channel.step(state, send_pkt("t", "r", packet))
+        delivered = []
+        while True:
+            actions = list(channel.enabled_local_actions(state))
+            if not actions:
+                break
+            delivered.append(actions[0].payload)
+            state = channel.step(state, actions[0])
+        assert delivered == pkts
+
+
+class TestLossyFifo:
+    def test_determinism(self):
+        a = lossy_fifo_channel("t", "r", seed=5, loss_rate=0.5)
+        b = lossy_fifo_channel("t", "r", seed=5, loss_rate=0.5)
+        assert a.initial_state() == b.initial_state()
+
+    def test_monotone(self):
+        channel = lossy_fifo_channel("t", "r", seed=1, loss_rate=0.5)
+        assert channel.initial_state().delivery.is_monotone()
+
+    def test_name_mentions_parameters(self):
+        channel = lossy_fifo_channel("t", "r", seed=1, loss_rate=0.25)
+        assert "0.25" in channel.name
+
+
+class TestReordering:
+    def test_not_fifo_for_wide_window(self):
+        found_reorder = False
+        for seed in range(10):
+            channel = reordering_channel(
+                "t", "r", seed=seed, window=8, horizon=64
+            )
+            if not channel.initial_state().delivery.is_monotone():
+                found_reorder = True
+                break
+        assert found_reorder
+
+    def test_directions_independent(self):
+        tr = reordering_channel("t", "r", seed=1)
+        rt = reordering_channel("r", "t", seed=2)
+        assert tr.src == "t" and rt.src == "r"
+        assert tr.signature.all_families.isdisjoint(
+            rt.signature.all_families
+        )

@@ -1,0 +1,138 @@
+"""Tests for the channel-state surgeries realizing Lemmas 6.3-6.7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Packet
+from repro.channels import (
+    ChannelSurgeryError,
+    DeliverySet,
+    PermissiveChannel,
+    PermissiveFifoChannel,
+    send_pkt,
+)
+
+
+def packets(n):
+    return [Packet(f"h{i}", (), uid=i) for i in range(1, n + 1)]
+
+
+def loaded_channel(channel, n, deliver=0):
+    """Channel with n sends and ``deliver`` deliveries performed."""
+    state = channel.initial_state()
+    for packet in packets(n):
+        state = channel.step(state, send_pkt("t", "r", packet))
+    for _ in range(deliver):
+        (action,) = list(channel.enabled_local_actions(state))
+        state = channel.step(state, action)
+    return state
+
+
+class TestMakeClean:
+    """Lemma 6.3: every schedule can leave the channel clean."""
+
+    def test_clean_after_sends(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 5)
+        cleaned = channel.make_clean(state)
+        assert cleaned.is_clean()
+        # Everything in transit is lost: nothing deliverable.
+        assert cleaned.deliverable() is None
+        assert cleaned.waiting_sequence() == ()
+
+    def test_clean_preserves_consumed_slots(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 5, deliver=2)
+        cleaned = channel.make_clean(state)
+        assert cleaned.delivered_indices() == state.delivered_indices()
+
+    def test_clean_future_is_fifo(self):
+        channel = PermissiveChannel("t", "r")
+        state = channel.make_clean(loaded_channel(channel, 3, deliver=1))
+        # The next send is delivered next, FIFO with no losses.
+        new_packet = Packet("new", (), uid=99)
+        state = channel.step(state, send_pkt("t", "r", new_packet))
+        assert state.deliverable() == (4, new_packet)
+
+    def test_clean_on_fifo_channel_stays_monotone(self):
+        channel = PermissiveFifoChannel("t", "r")
+        state = channel.make_clean(loaded_channel(channel, 4, deliver=2))
+        assert state.delivery.is_monotone()
+
+    def test_clean_is_idempotent(self):
+        channel = PermissiveChannel("t", "r")
+        state = channel.make_clean(loaded_channel(channel, 4))
+        assert channel.make_clean(state) == state
+
+
+class TestWithWaiting:
+    """Lemmas 6.5-6.7: scheduling chosen in-transit packets."""
+
+    def test_waiting_packets_scheduled_in_order(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 5)
+        surgered = channel.with_waiting(state, [4, 2])
+        pkts = packets(5)
+        assert surgered.waiting_sequence() == (pkts[3], pkts[1])
+
+    def test_non_fifo_order_allowed_on_cbar(self):
+        """Lemma 6.7: any sequence of in-transit packets can wait."""
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 5)
+        surgered = channel.with_waiting(state, [5, 1, 3])
+        assert [p.uid for p in surgered.waiting_sequence()] == [5, 1, 3]
+
+    def test_non_fifo_order_rejected_on_chat(self):
+        from repro.channels.delivery_set import DeliverySetError
+
+        channel = PermissiveFifoChannel("t", "r")
+        state = loaded_channel(channel, 5)
+        with pytest.raises(DeliverySetError):
+            channel.with_waiting(state, [3, 1])
+
+    def test_fifo_subsequence_allowed_on_chat(self):
+        """Lemma 6.6 on C-hat: any subsequence of waiting packets."""
+        channel = PermissiveFifoChannel("t", "r")
+        state = loaded_channel(channel, 5)
+        surgered = channel.with_waiting(state, [2, 5])
+        assert [p.uid for p in surgered.waiting_sequence()] == [2, 5]
+        assert surgered.delivery.is_monotone()
+
+    def test_drained_channel_is_clean_afterwards(self):
+        channel = PermissiveChannel("t", "r")
+        state = channel.with_waiting(loaded_channel(channel, 3), [2])
+        (action,) = list(channel.enabled_local_actions(state))
+        state = channel.step(state, action)
+        assert state.is_clean()
+
+    def test_unsent_index_rejected(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 2)
+        with pytest.raises(ChannelSurgeryError):
+            channel.with_waiting(state, [3])
+
+    def test_delivered_index_rejected(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 3, deliver=1)
+        with pytest.raises(ChannelSurgeryError):
+            channel.with_waiting(state, [1])
+
+    def test_duplicate_index_rejected(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 3)
+        with pytest.raises(ChannelSurgeryError):
+            channel.with_waiting(state, [2, 2])
+
+    def test_rewrite_cannot_change_history(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 3, deliver=2)
+        # Craft a delivery set disagreeing on consumed slot 1.
+        bogus = DeliverySet((3, 2), 1)
+        with pytest.raises(ChannelSurgeryError):
+            channel._rewrite(state, bogus)
+
+    def test_empty_waiting_equals_clean(self):
+        channel = PermissiveChannel("t", "r")
+        state = loaded_channel(channel, 3)
+        assert channel.with_waiting(state, []) == channel.make_clean(state)

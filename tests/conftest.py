@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message, MessageFactory, Packet
+from repro.protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+from repro.sim.network import fifo_system, permissive_system
+
+
+@pytest.fixture
+def factory() -> MessageFactory:
+    return MessageFactory()
+
+
+@pytest.fixture
+def abp():
+    return alternating_bit_protocol()
+
+
+@pytest.fixture
+def abp_fifo(abp):
+    return fifo_system(abp)
+
+
+@pytest.fixture
+def abp_permissive(abp):
+    return permissive_system(abp)
+
+
+@pytest.fixture
+def sliding_window():
+    return sliding_window_protocol(2)
+
+
+@pytest.fixture
+def stenning():
+    return stenning_protocol()
+
+
+@pytest.fixture
+def baratz_segall_nv():
+    return baratz_segall_protocol(nonvolatile=True)
+
+
+@pytest.fixture
+def baratz_segall_volatile():
+    return baratz_segall_protocol(nonvolatile=False)
+
+
+def deliver_all(system, messages, max_steps=100_000):
+    """Wake both ends, submit messages, run fairly to quiescence."""
+    inputs = [system.wake_t(), system.wake_r()] + [
+        system.send(m) for m in messages
+    ]
+    return system.run_fair(
+        system.initial_state(), inputs=inputs, max_steps=max_steps
+    )

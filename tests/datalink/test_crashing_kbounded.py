@@ -1,0 +1,60 @@
+"""Tests for the crashing checker (5.3.2) and k-boundedness probe (8.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalink import check_crashing, probe_k_bound
+from repro.protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+
+class TestCrashing:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            alternating_bit_protocol,
+            lambda: sliding_window_protocol(2),
+            stenning_protocol,
+            lambda: baratz_segall_protocol(nonvolatile=False),
+        ],
+    )
+    def test_volatile_protocols_are_crashing(self, factory):
+        report = check_crashing(factory())
+        assert report.crashing, report.detail
+        assert report.states_checked > 4
+
+    def test_nonvolatile_protocol_is_not_crashing(self):
+        report = check_crashing(baratz_segall_protocol(nonvolatile=True))
+        assert not report.crashing
+        assert "start state" in report.detail
+
+    def test_declarations_match_reality(self):
+        assert not baratz_segall_protocol(nonvolatile=False).crash_resilient
+        assert baratz_segall_protocol(nonvolatile=True).crash_resilient
+
+
+class TestKBounded:
+    def test_abp_is_small_k(self):
+        report = probe_k_bound(alternating_bit_protocol())
+        assert report.delivered
+        assert 1 <= report.k <= 3
+
+    def test_stenning_is_small_k(self):
+        report = probe_k_bound(stenning_protocol())
+        assert report.delivered
+        assert report.k <= 3
+
+    def test_sliding_window_is_small_k(self):
+        report = probe_k_bound(sliding_window_protocol(4))
+        assert report.delivered
+        assert report.k <= 6
+
+    def test_per_round_recorded(self):
+        report = probe_k_bound(alternating_bit_protocol(), rounds=5)
+        assert len(report.per_round) == 5
+        assert max(report.per_round) == report.k

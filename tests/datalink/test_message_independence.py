@@ -1,0 +1,140 @@
+"""Tests for message-independence machinery (paper, Section 5.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message, Packet
+from repro.datalink import (
+    Renaming,
+    actions_equivalent,
+    check_message_independence,
+    equivalent,
+    headers_of,
+    packet_class,
+    send_msg,
+    states_equivalent,
+    wildcard_form,
+)
+from repro.datalink.protocol import HostState
+from repro.protocols import (
+    alternating_bit_protocol,
+    message_peeking_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+M1, M2, M3 = Message(1), Message(2), Message(3)
+
+
+class TestRenaming:
+    def test_bind_and_apply(self):
+        rho = Renaming()
+        rho.bind(M1, M2)
+        assert rho.apply(M1) == M2
+        assert rho.apply(M3) == M3
+
+    def test_rebind_same_target_ok(self):
+        rho = Renaming()
+        rho.bind(M1, M2)
+        rho.bind(M1, M2)
+        assert len(rho) == 1
+
+    def test_rebind_different_target_rejected(self):
+        rho = Renaming()
+        rho.bind(M1, M2)
+        with pytest.raises(ValueError):
+            rho.bind(M1, M3)
+
+    def test_inverse(self):
+        rho = Renaming({M1: M2})
+        assert rho.inverse().apply(M2) == M1
+
+    def test_inverse_of_non_injective_rejected(self):
+        rho = Renaming({M1: M3, M2: M3})
+        with pytest.raises(ValueError):
+            rho.inverse()
+
+
+class TestEquivalence:
+    def test_action_equivalence_via_renaming(self):
+        rho = Renaming({M1: M2})
+        assert actions_equivalent(
+            send_msg("t", "r", M1), send_msg("t", "r", M2), rho
+        )
+
+    def test_action_equivalence_requires_same_key(self):
+        rho = Renaming({M1: M2})
+        assert not actions_equivalent(
+            send_msg("t", "r", M1), send_msg("r", "t", M2), rho
+        )
+
+    def test_uid_ignored_in_action_equivalence(self):
+        from repro.channels import send_pkt
+
+        rho = Renaming({M1: M2})
+        a = send_pkt("t", "r", Packet("H", (M1,), uid=3))
+        b = send_pkt("t", "r", Packet("H", (M2,), uid=9))
+        assert actions_equivalent(a, b, rho)
+
+    def test_state_equivalence_ignores_uid_counter(self):
+        rho = Renaming({M1: M2})
+        s1 = HostState(core=(M1,), uid_counter=5)
+        s2 = HostState(core=(M2,), uid_counter=99)
+        assert states_equivalent(s1, s2, rho)
+
+    def test_state_equivalence_requires_structure(self):
+        rho = Renaming({M1: M2})
+        assert not states_equivalent(
+            HostState(core=(M1, "x")), HostState(core=(M2, "y")), rho
+        )
+
+
+class TestWildcardEquivalence:
+    def test_all_messages_equivalent(self):
+        assert equivalent(M1, M2)
+
+    def test_structure_matters(self):
+        assert not equivalent((M1, 1), (M2, 2))
+        assert equivalent((M1, 1), (M2, 1))
+
+    def test_packet_class(self):
+        assert packet_class(Packet("H", (M1,), uid=1)) == packet_class(
+            Packet("H", (M2,), uid=2)
+        )
+        assert packet_class(Packet("H")) != packet_class(
+            Packet("H", (M1,))
+        )
+
+    def test_wildcard_form_erases_uids(self):
+        a = wildcard_form(Packet("H", (M1,), uid=1))
+        b = wildcard_form(Packet("H", (M2,), uid=2))
+        assert a == b
+
+
+class TestHeadersOf:
+    def test_bounded_protocol(self):
+        headers = headers_of(alternating_bit_protocol())
+        assert headers is not None
+        assert len(headers) == 8  # 4 headers x 2 arities
+
+    def test_unbounded_protocol(self):
+        assert headers_of(stenning_protocol()) is None
+
+
+class TestIndependenceChecker:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            alternating_bit_protocol,
+            lambda: sliding_window_protocol(2),
+            stenning_protocol,
+        ],
+    )
+    def test_honest_protocols_pass(self, factory):
+        report = check_message_independence(factory())
+        assert report.independent, report.detail
+
+    def test_peeking_protocol_rejected(self):
+        report = check_message_independence(message_peeking_protocol())
+        assert not report.independent

@@ -1,0 +1,122 @@
+"""Tests for the DL / WDL schedule modules (paper, Section 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.alphabets import Message
+from repro.channels import crash, fail, wake
+from repro.datalink import (
+    dl_module,
+    receive_msg,
+    send_msg,
+    wdl_module,
+)
+
+T, R = "t", "r"
+M = [Message(i) for i in range(8)]
+
+
+def good_trace():
+    return [
+        wake(T, R),
+        wake(R, T),
+        send_msg(T, R, M[0]),
+        receive_msg(T, R, M[0]),
+    ]
+
+
+class TestDlModule:
+    def test_good_trace_accepted(self):
+        assert dl_module(T, R).contains(good_trace())
+
+    def test_duplicate_rejected(self):
+        trace = good_trace() + [receive_msg(T, R, M[0])]
+        verdict = dl_module(T, R).check(trace)
+        assert not verdict.in_module
+        assert any(f.name == "DL4" for f in verdict.failures)
+
+    def test_unsent_rejected(self):
+        trace = good_trace() + [receive_msg(T, R, M[5])]
+        verdict = dl_module(T, R).check(trace)
+        assert any(f.name == "DL5" for f in verdict.failures)
+
+    def test_reorder_rejected_by_dl_only(self):
+        trace = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M[0]),
+            send_msg(T, R, M[1]),
+            receive_msg(T, R, M[1]),
+            receive_msg(T, R, M[0]),
+        ]
+        assert not dl_module(T, R).contains(trace)
+        # WDL has no FIFO requirement.
+        assert wdl_module(T, R).contains(trace)
+
+    def test_gap_rejected_by_dl_only(self):
+        trace = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M[0]),
+            send_msg(T, R, M[1]),
+            receive_msg(T, R, M[1]),
+        ]
+        assert not dl_module(T, R).contains(trace)  # DL7 and DL8
+        # WDL still requires liveness (DL8) on quiescent traces.
+        assert not wdl_module(T, R).contains(trace)
+        assert wdl_module(T, R, quiescent=False).contains(trace)
+
+    def test_assumption_violation_is_vacuous(self):
+        trace = [send_msg(T, R, M[0])]  # DL2 fails (no wake)
+        verdict = dl_module(T, R).check(trace)
+        assert verdict.in_module and verdict.vacuous
+
+
+class TestWeakening:
+    """``scheds(DL) <= scheds(WDL)`` (paper, Section 4), sampled."""
+
+    def _random_traces(self, count=200, seed=0):
+        rng = random.Random(seed)
+        traces = []
+        for _ in range(count):
+            trace = []
+            available = list(M)
+            sent = []
+            for _ in range(rng.randrange(1, 12)):
+                kind = rng.randrange(6)
+                if kind == 0:
+                    trace.append(wake(T, R))
+                elif kind == 1:
+                    trace.append(wake(R, T))
+                elif kind == 2:
+                    trace.append(fail(T, R))
+                elif kind == 3 and available:
+                    trace.append(send_msg(T, R, available.pop()))
+                    sent.append(trace[-1].payload)
+                elif kind == 4 and sent:
+                    trace.append(receive_msg(T, R, rng.choice(sent)))
+                else:
+                    trace.append(crash(T, R))
+            traces.append(trace)
+        return traces
+
+    def test_dl_subset_wdl_on_corpus(self):
+        dl = dl_module(T, R)
+        wdl = wdl_module(T, R)
+        assert wdl.weaker_than(dl, self._random_traces())
+
+    def test_some_trace_separates_them(self):
+        # WDL is strictly weaker: a reordered delivery separates.
+        trace = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M[0]),
+            send_msg(T, R, M[1]),
+            receive_msg(T, R, M[1]),
+            receive_msg(T, R, M[0]),
+        ]
+        assert wdl_module(T, R).contains(trace)
+        assert not dl_module(T, R).contains(trace)

@@ -1,0 +1,209 @@
+"""Tests for the data-link trace properties (DL1)-(DL8) and validity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message
+from repro.datalink import (
+    dl1,
+    dl2,
+    dl3,
+    dl4,
+    dl5,
+    dl6,
+    dl7,
+    dl8,
+    dl_well_formed,
+    is_valid_sequence,
+    receive_msg,
+    send_msg,
+)
+from repro.channels import crash, fail, wake
+
+T, R = "t", "r"
+M1, M2, M3 = Message(1), Message(2), Message(3)
+
+
+def wt():
+    return wake(T, R)
+
+
+def wr():
+    return wake(R, T)
+
+
+def ft():
+    return fail(T, R)
+
+
+def fr():
+    return fail(R, T)
+
+
+def ct():
+    return crash(T, R)
+
+
+def cr():
+    return crash(R, T)
+
+
+def s(m):
+    return send_msg(T, R, m)
+
+
+def rv(m):
+    return receive_msg(T, R, m)
+
+
+class TestWellFormed:
+    def test_both_directions_checked(self):
+        assert dl_well_formed([wt(), wr()], T, R).holds
+        assert not dl_well_formed([wt(), wt()], T, R).holds
+        assert not dl_well_formed([wr(), wr()], T, R).holds
+
+    def test_crashes_delimit_per_direction(self):
+        # crash^{t,r} resets only the transmitter alternation.
+        assert dl_well_formed([wt(), wr(), ct(), wt()], T, R).holds
+        assert not dl_well_formed([wt(), wr(), ct(), wr()], T, R).holds
+
+    def test_receiver_crash_resets_receiver(self):
+        assert dl_well_formed([wt(), wr(), cr(), wr()], T, R).holds
+
+
+class TestDl1:
+    def test_both_unbounded_ok(self):
+        assert dl1([wt(), wr()], T, R).holds
+
+    def test_neither_unbounded_ok(self):
+        assert dl1([wt(), ft(), wr(), fr()], T, R).holds
+
+    def test_only_transmitter_unbounded_violates(self):
+        result = dl1([wt(), wr(), fr()], T, R)
+        assert not result.holds
+        assert "transmitter" in result.witness
+
+    def test_only_receiver_unbounded_violates(self):
+        assert not dl1([wt(), wr(), ft()], T, R).holds
+
+
+class TestDl2Dl3:
+    def test_send_in_interval_ok(self):
+        assert dl2([wt(), wr(), s(M1)], T, R).holds
+
+    def test_send_outside_interval_violates(self):
+        assert not dl2([s(M1), wt()], T, R).holds
+        assert not dl2([wt(), ft(), s(M1)], T, R).holds
+
+    def test_duplicate_send_violates_dl3(self):
+        assert not dl3([wt(), s(M1), s(M1)], T, R).holds
+
+    def test_distinct_sends_ok(self):
+        assert dl3([wt(), s(M1), s(M2)], T, R).holds
+
+
+class TestDl4Dl5:
+    def test_single_delivery_ok(self):
+        assert dl4([wt(), s(M1), rv(M1)], T, R).holds
+
+    def test_duplicate_delivery_violates(self):
+        result = dl4([wt(), s(M1), rv(M1), rv(M1)], T, R)
+        assert not result.holds
+
+    def test_unsent_delivery_violates_dl5(self):
+        assert not dl5([wt(), rv(M1)], T, R).holds
+
+    def test_receive_before_send_violates_dl5(self):
+        assert not dl5([wt(), rv(M1), s(M1)], T, R).holds
+
+
+class TestDl6:
+    def test_fifo_ok(self):
+        schedule = [wt(), s(M1), s(M2), rv(M1), rv(M2)]
+        assert dl6(schedule, T, R).holds
+
+    def test_reordered_delivery_violates(self):
+        schedule = [wt(), s(M1), s(M2), rv(M2), rv(M1)]
+        assert not dl6(schedule, T, R).holds
+
+    def test_gap_is_dl6_clean(self):
+        # DL6 alone permits losing M1 (that is DL7/DL8's business).
+        schedule = [wt(), s(M1), s(M2), rv(M2)]
+        assert dl6(schedule, T, R).holds
+
+
+class TestDl7:
+    def test_no_gaps_ok(self):
+        schedule = [wt(), s(M1), s(M2), rv(M1), rv(M2)]
+        assert dl7(schedule, T, R).holds
+
+    def test_gap_within_interval_violates(self):
+        schedule = [wt(), s(M1), s(M2), rv(M2)]
+        result = dl7(schedule, T, R)
+        assert not result.holds
+
+    def test_gap_across_intervals_allowed(self):
+        # M1 sent in an interval ended by fail: may be lost even though
+        # the later M2 is delivered.
+        schedule = [wt(), s(M1), ft(), wt(), s(M2), rv(M2)]
+        assert dl7(schedule, T, R).holds
+
+    def test_multiple_gaps_first_reported(self):
+        schedule = [wt(), s(M1), s(M2), s(M3), rv(M3)]
+        assert not dl7(schedule, T, R).holds
+
+
+class TestDl8:
+    def test_all_delivered_ok(self):
+        schedule = [wt(), wr(), s(M1), rv(M1)]
+        assert dl8(schedule, T, R).holds
+
+    def test_undelivered_in_unbounded_interval_violates(self):
+        schedule = [wt(), wr(), s(M1)]
+        assert not dl8(schedule, T, R).holds
+
+    def test_undelivered_in_bounded_interval_ok(self):
+        schedule = [wt(), s(M1), ft()]
+        assert dl8(schedule, T, R).holds
+
+    def test_skipped_when_not_quiescent(self):
+        schedule = [wt(), s(M1)]
+        assert dl8(schedule, T, R, quiescent=False).holds
+
+    def test_send_before_last_crash_exempt(self):
+        schedule = [wt(), s(M1), ct(), wt(), s(M2), rv(M2)]
+        assert dl8(schedule, T, R).holds
+
+
+class TestValidity:
+    def test_valid_sequence(self):
+        schedule = [wt(), wr(), s(M1), rv(M1)]
+        assert is_valid_sequence(schedule, T, R).holds
+
+    def test_fail_disqualifies(self):
+        schedule = [wt(), wr(), ft(), wt()]
+        assert not is_valid_sequence(schedule, T, R).holds
+
+    def test_crash_disqualifies(self):
+        schedule = [wt(), wr(), ct(), wt()]
+        assert not is_valid_sequence(schedule, T, R).holds
+
+    def test_no_wake_disqualifies(self):
+        assert not is_valid_sequence([], T, R).holds
+
+    def test_lemma_8_1_sent_implies_received(self):
+        # A valid sequence must deliver every message it sends.
+        schedule = [wt(), wr(), s(M1)]
+        assert not is_valid_sequence(schedule, T, R).holds
+
+    def test_lemma_8_2_extension_stays_valid(self):
+        # Appending send;receive of a fresh message preserves validity.
+        base = [wt(), wr(), s(M1), rv(M1)]
+        assert is_valid_sequence(base, T, R).holds
+        extended = base + [s(M2), rv(M2)]
+        assert is_valid_sequence(extended, T, R).holds
+
+    def test_duplicate_delivery_disqualifies(self):
+        schedule = [wt(), wr(), s(M1), rv(M1), rv(M1)]
+        assert not is_valid_sequence(schedule, T, R).holds

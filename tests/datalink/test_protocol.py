@@ -1,0 +1,173 @@
+"""Tests for the protocol-automaton wrappers (paper, Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message, Packet
+from repro.channels import crash, fail, receive_pkt, send_pkt, wake
+from repro.datalink import (
+    DataLinkProtocol,
+    HostState,
+    ReceiverAutomaton,
+    TransmitterAutomaton,
+    receive_msg,
+    send_msg,
+)
+from repro.protocols.alternating_bit import (
+    AbpReceiver,
+    AbpTransmitter,
+    alternating_bit_protocol,
+)
+
+T, R = "t", "r"
+M1, M2 = Message(1), Message(2)
+
+
+@pytest.fixture
+def transmitter():
+    return TransmitterAutomaton(T, R, AbpTransmitter())
+
+
+@pytest.fixture
+def receiver():
+    return ReceiverAutomaton(T, R, AbpReceiver())
+
+
+class TestSignatures:
+    def test_transmitter_signature(self, transmitter):
+        sig = transmitter.signature
+        assert sig.is_input(send_msg(T, R, M1))
+        assert sig.is_input(receive_pkt(R, T, Packet("x")))
+        assert sig.is_input(wake(T, R))
+        assert sig.is_input(fail(T, R))
+        assert sig.is_input(crash(T, R))
+        assert sig.is_output(send_pkt(T, R, Packet("x")))
+        assert not sig.contains(receive_msg(T, R, M1))
+
+    def test_receiver_signature(self, receiver):
+        sig = receiver.signature
+        assert sig.is_input(receive_pkt(T, R, Packet("x")))
+        assert sig.is_input(wake(R, T))
+        assert sig.is_input(crash(R, T))
+        assert sig.is_output(send_pkt(R, T, Packet("x")))
+        assert sig.is_output(receive_msg(T, R, M1))
+        assert not sig.contains(send_msg(T, R, M1))
+
+
+class TestInputEnabledness:
+    def test_transmitter_accepts_all_inputs_everywhere(self, transmitter):
+        state = transmitter.initial_state()
+        inputs = [
+            send_msg(T, R, M1),
+            receive_pkt(R, T, Packet(("ACK", 0), (), uid=3)),
+            wake(T, R),
+            fail(T, R),
+            crash(T, R),
+        ]
+        assert transmitter.check_input_enabled(state, inputs)
+        # Also in a mid-protocol state.
+        state = transmitter.step(state, wake(T, R))
+        state = transmitter.step(state, send_msg(T, R, M1))
+        assert transmitter.check_input_enabled(state, inputs)
+
+    def test_receiver_accepts_all_inputs_everywhere(self, receiver):
+        inputs = [
+            receive_pkt(T, R, Packet(("DATA", 0), (M1,), uid=1)),
+            wake(R, T),
+            fail(R, T),
+            crash(R, T),
+        ]
+        assert receiver.check_input_enabled(
+            receiver.initial_state(), inputs
+        )
+
+
+class TestUidStamping:
+    def test_sends_carry_fresh_uids(self, transmitter):
+        state = transmitter.step(transmitter.initial_state(), wake(T, R))
+        state = transmitter.step(state, send_msg(T, R, M1))
+        (action,) = list(transmitter.enabled_local_actions(state))
+        assert action.payload.uid == 1
+        state = transmitter.step(state, action)
+        (action2,) = list(transmitter.enabled_local_actions(state))
+        assert action2.payload.uid == 2  # retransmission: new uid
+
+    def test_wrong_uid_not_enabled(self, transmitter):
+        state = transmitter.step(transmitter.initial_state(), wake(T, R))
+        state = transmitter.step(state, send_msg(T, R, M1))
+        (action,) = list(transmitter.enabled_local_actions(state))
+        stale = action.with_payload(action.payload.with_uid(5))
+        assert transmitter.transitions(state, stale) == ()
+
+    def test_uid_counter_survives_crash(self, transmitter):
+        state = transmitter.step(transmitter.initial_state(), wake(T, R))
+        state = transmitter.step(state, send_msg(T, R, M1))
+        (action,) = list(transmitter.enabled_local_actions(state))
+        state = transmitter.step(state, action)
+        crashed = transmitter.step(state, crash(T, R))
+        assert crashed.core == transmitter.logic.initial_core()
+        assert crashed.uid_counter == 1  # ghost label, not protocol memory
+
+    def test_logic_never_sees_uids(self, receiver):
+        # Deliver a packet with a uid; the receiver core must not
+        # contain it anywhere (packets are stripped before the logic).
+        packet = Packet(("DATA", 0), (M1,), uid=77)
+        state = receiver.step(receiver.initial_state(), wake(R, T))
+        state = receiver.step(state, receive_pkt(T, R, packet))
+        from repro.alphabets import strip_uids
+
+        assert strip_uids(state.core) == state.core
+
+
+class TestCrashBehavior:
+    def test_crash_resets_core(self, transmitter):
+        state = transmitter.step(transmitter.initial_state(), wake(T, R))
+        state = transmitter.step(state, send_msg(T, R, M1))
+        crashed = transmitter.step(state, crash(T, R))
+        assert crashed.core == transmitter.logic.initial_core()
+
+    def test_receiver_crash_resets_core(self, receiver):
+        state = receiver.step(receiver.initial_state(), wake(R, T))
+        packet = Packet(("DATA", 0), (M1,), uid=1)
+        state = receiver.step(state, receive_pkt(T, R, packet))
+        crashed = receiver.step(state, crash(R, T))
+        assert crashed.core == receiver.logic.initial_core()
+
+
+class TestDeliveries:
+    def test_delivery_precondition(self, receiver):
+        state = receiver.step(receiver.initial_state(), wake(R, T))
+        # Nothing to deliver yet.
+        assert receiver.transitions(state, receive_msg(T, R, M1)) == ()
+        packet = Packet(("DATA", 0), (M1,), uid=1)
+        state = receiver.step(state, receive_pkt(T, R, packet))
+        assert receiver.transitions(state, receive_msg(T, R, M1))
+        # Only the inbox head is deliverable.
+        assert receiver.transitions(state, receive_msg(T, R, M2)) == ()
+
+    def test_tasks_split_send_and_deliver(self, receiver):
+        send_task = receiver.task_of(send_pkt(R, T, Packet("x")))
+        deliver_task = receiver.task_of(receive_msg(T, R, M1))
+        assert send_task != deliver_task
+        assert set(receiver.tasks()) == {send_task, deliver_task}
+
+
+class TestProtocolContainer:
+    def test_build_creates_fresh_instances(self):
+        protocol = alternating_bit_protocol()
+        t1, r1 = protocol.build()
+        t2, r2 = protocol.build()
+        assert t1 is not t2
+        assert t1.logic is not t2.logic
+
+    def test_header_space_union(self):
+        protocol = alternating_bit_protocol()
+        assert protocol.has_bounded_headers()
+        assert len(protocol.header_space()) == 4
+
+    def test_unbounded_header_space(self):
+        from repro.protocols import stenning_protocol
+
+        assert stenning_protocol().header_space() is None
+        assert not stenning_protocol().has_bounded_headers()

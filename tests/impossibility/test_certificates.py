@@ -1,0 +1,97 @@
+"""Tests for violation certificates and their independent validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import Message
+from repro.channels import wake
+from repro.datalink import receive_msg, send_msg
+from repro.impossibility import (
+    DUPLICATE_DELIVERY,
+    LIVENESS,
+    UNSENT_DELIVERY,
+    ViolationCertificate,
+)
+
+T, R = "t", "r"
+M1, M2 = Message(1), Message(2)
+
+
+def make_certificate(behavior, kind=DUPLICATE_DELIVERY, violated=("DL4",)):
+    return ViolationCertificate(
+        protocol_name="test-protocol",
+        theorem="theorem-7.5",
+        kind=kind,
+        behavior=tuple(behavior),
+        violated=violated,
+        narrative=("step one", "step two"),
+        stats={"x": 1},
+    )
+
+
+class TestValidation:
+    def test_duplicate_delivery_validates(self):
+        behavior = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+            receive_msg(T, R, M1),
+        ]
+        assert make_certificate(behavior).validate()
+
+    def test_unsent_delivery_validates(self):
+        behavior = [
+            wake(T, R),
+            wake(R, T),
+            receive_msg(T, R, M2),
+        ]
+        certificate = make_certificate(
+            behavior, UNSENT_DELIVERY, ("DL5",)
+        )
+        assert certificate.validate()
+
+    def test_liveness_validates(self):
+        behavior = [wake(T, R), wake(R, T), send_msg(T, R, M1)]
+        assert make_certificate(behavior, LIVENESS, ("DL8",)).validate()
+
+    def test_clean_behavior_does_not_validate(self):
+        behavior = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+        ]
+        assert not make_certificate(behavior).validate()
+
+    def test_vacuous_violation_does_not_validate(self):
+        # Assumptions broken (send outside working interval): the
+        # "violation" proves nothing about the protocol.
+        behavior = [
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+            receive_msg(T, R, M1),
+        ]
+        assert not make_certificate(behavior).validate()
+
+    def test_violated_properties_rederived(self):
+        behavior = [
+            wake(T, R),
+            wake(R, T),
+            send_msg(T, R, M1),
+            receive_msg(T, R, M1),
+            receive_msg(T, R, M1),
+        ]
+        assert "DL4" in make_certificate(behavior).violated_properties()
+
+
+class TestDescribe:
+    def test_describe_mentions_everything(self):
+        behavior = [wake(T, R), wake(R, T), send_msg(T, R, M1)]
+        text = make_certificate(behavior, LIVENESS, ("DL8",)).describe()
+        assert "theorem-7.5" in text
+        assert "test-protocol" in text
+        assert "DL8" in text
+        assert "step one" in text
+        assert "x=1" in text

@@ -1,0 +1,115 @@
+"""Tests for the Theorem 7.5 crash-impossibility engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalink import dl3, dl_well_formed, wdl_module
+from repro.impossibility import (
+    DUPLICATE_DELIVERY,
+    LIVENESS,
+    UNSENT_DELIVERY,
+    EngineError,
+    refute_crash_tolerance,
+)
+from repro.protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    eager_protocol,
+    fragmenting_protocol,
+    modulo_stenning_protocol,
+    selective_repeat_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+ALL_CRASHING = [
+    ("abp", alternating_bit_protocol),
+    ("sw1", lambda: sliding_window_protocol(1)),
+    ("sw2", lambda: sliding_window_protocol(2)),
+    ("sw4", lambda: sliding_window_protocol(4)),
+    ("sw8", lambda: sliding_window_protocol(8)),
+    ("stenning", stenning_protocol),
+    ("mod-stenning4", lambda: modulo_stenning_protocol(4)),
+    ("bs-volatile", lambda: baratz_segall_protocol(nonvolatile=False)),
+    ("eager", eager_protocol),
+    ("selective-repeat-2", lambda: selective_repeat_protocol(2)),
+    ("fragmenting", lambda: fragmenting_protocol(chunk=1, max_fragments=2)),
+]
+
+
+class TestTheorem75:
+    """Every crashing, message-independent protocol is defeated."""
+
+    @pytest.mark.parametrize(
+        "name,factory", ALL_CRASHING, ids=[n for n, _ in ALL_CRASHING]
+    )
+    def test_certificate_found_and_validates(self, name, factory):
+        certificate = refute_crash_tolerance(factory())
+        assert certificate.theorem == "theorem-7.5"
+        assert certificate.validate()
+        assert certificate.kind in (
+            LIVENESS,
+            DUPLICATE_DELIVERY,
+            UNSENT_DELIVERY,
+        )
+
+    @pytest.mark.parametrize(
+        "name,factory", ALL_CRASHING, ids=[n for n, _ in ALL_CRASHING]
+    )
+    def test_certificate_behavior_meets_assumptions(self, name, factory):
+        """The violation must not be vacuous: the environment behaved."""
+        certificate = refute_crash_tolerance(factory())
+        verdict = wdl_module("t", "r").check(certificate.behavior)
+        assert not verdict.vacuous
+        assert not verdict.in_module
+        assert dl_well_formed(certificate.behavior, "t", "r").holds
+        assert dl3(certificate.behavior, "t", "r").holds
+
+    def test_reported_violations_rederivable(self):
+        certificate = refute_crash_tolerance(alternating_bit_protocol())
+        assert set(certificate.violated) <= set(
+            certificate.violated_properties()
+        )
+
+    def test_abp_loses_a_message(self):
+        """For ABP the crash desynchronizes the alternating bit and the
+        fresh message is silently dropped: a (DL8) violation."""
+        certificate = refute_crash_tolerance(alternating_bit_protocol())
+        assert certificate.kind == LIVENESS
+        assert certificate.violated == ("DL8",)
+
+    def test_eager_protocol_duplicates(self):
+        """A non-deduplicating receiver exercises the Lemma 7.1 branch:
+        the replayed extension delivers a duplicate."""
+        certificate = refute_crash_tolerance(eager_protocol())
+        assert certificate.kind in (DUPLICATE_DELIVERY, UNSENT_DELIVERY)
+
+    def test_narrative_mentions_lemmas(self):
+        certificate = refute_crash_tolerance(alternating_bit_protocol())
+        text = "\n".join(certificate.narrative)
+        assert "Lemma 7.3" in text or "alternation chain" in text
+        assert "Lemma 7.4" in text
+
+    def test_stats_recorded(self):
+        certificate = refute_crash_tolerance(alternating_bit_protocol())
+        assert certificate.stats["pump_levels"] >= 2
+        assert certificate.stats["alpha_steps"] >= 4
+
+
+class TestHypothesisBoundary:
+    """Protocols outside the theorem's hypotheses are not defeated."""
+
+    def test_nonvolatile_protocol_rejected(self):
+        with pytest.raises(EngineError, match="not crashing"):
+            refute_crash_tolerance(
+                baratz_segall_protocol(nonvolatile=True)
+            )
+
+
+class TestDeterminism:
+    def test_engine_is_deterministic(self):
+        a = refute_crash_tolerance(alternating_bit_protocol())
+        b = refute_crash_tolerance(alternating_bit_protocol())
+        assert a.behavior == b.behavior
+        assert a.kind == b.kind

@@ -1,0 +1,107 @@
+"""Edge paths of the impossibility engines.
+
+The engines must fail *informatively* on protocols violating the
+hypotheses they cannot verify up front: protocols that never quiesce,
+never deliver, or sneak message-dependence past the empirical checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+import pytest
+
+from repro.alphabets import Message, Packet
+from repro.datalink import DataLinkProtocol, ReceiverLogic, TransmitterLogic
+from repro.impossibility import (
+    LIVENESS,
+    EngineError,
+    refute_bounded_headers,
+    refute_crash_tolerance,
+)
+from repro.protocols.naive import DirectReceiver, _WakeMixin
+
+
+@dataclass(frozen=True)
+class _Core:
+    queue: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+class MuteTransmitter(_WakeMixin, TransmitterLogic):
+    """Accepts messages and never sends a single packet."""
+
+    def initial_core(self):
+        return _Core()
+
+    def on_send_msg(self, core, message):
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core, packet):
+        return core
+
+    def enabled_sends(self, core) -> Iterable[Packet]:
+        return ()
+
+    def after_send(self, core, packet):
+        return core
+
+    def header_space(self):
+        return frozenset()
+
+
+class BabblingTransmitter(MuteTransmitter):
+    """Sends a heartbeat forever: the composition never quiesces."""
+
+    def enabled_sends(self, core) -> Iterable[Packet]:
+        if core.awake:
+            yield Packet("HEARTBEAT")
+
+    def header_space(self):
+        return frozenset({"HEARTBEAT"})
+
+
+def mute_protocol() -> DataLinkProtocol:
+    return DataLinkProtocol(
+        name="mute",
+        transmitter_factory=MuteTransmitter,
+        receiver_factory=DirectReceiver,
+        description="never transmits anything",
+    )
+
+
+def babbling_protocol() -> DataLinkProtocol:
+    return DataLinkProtocol(
+        name="babbling",
+        transmitter_factory=BabblingTransmitter,
+        receiver_factory=DirectReceiver,
+        description="transmits heartbeats forever",
+    )
+
+
+class TestCrashEngineEdges:
+    def test_mute_protocol_yields_liveness_certificate(self):
+        """A protocol that cannot deliver even over ideal channels is
+        refuted at the reference-execution phase."""
+        certificate = refute_crash_tolerance(mute_protocol())
+        assert certificate.kind == LIVENESS
+        assert certificate.validate()
+        # No pumping was needed.
+        assert "pump_levels" not in certificate.stats
+
+    def test_babbling_protocol_rejected_informatively(self):
+        with pytest.raises(EngineError, match="does not quiesce"):
+            refute_crash_tolerance(babbling_protocol(), max_steps=5_000)
+
+
+class TestHeaderEngineEdges:
+    def test_mute_protocol_rejected(self):
+        """The probe cannot find any delivery: the protocol is not
+        k-bounded for any k (and not weakly correct)."""
+        with pytest.raises(EngineError, match="DL8|k-bounded"):
+            refute_bounded_headers(mute_protocol(), max_steps=5_000)
+
+    def test_babbling_protocol_rejected(self):
+        with pytest.raises(EngineError):
+            refute_bounded_headers(babbling_protocol(), max_steps=5_000)

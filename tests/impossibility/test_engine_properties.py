@@ -1,0 +1,88 @@
+"""Property-based sweeps of the impossibility engines.
+
+Both engines must succeed -- and their certificates must validate --
+for *every* member of the parameterized protocol families inside their
+hypothesis classes.  Hypothesis chooses the parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.impossibility import (
+    refute_bounded_headers,
+    refute_crash_tolerance,
+)
+from repro.protocols import (
+    fragmenting_protocol,
+    modulo_stenning_protocol,
+    selective_repeat_protocol,
+    sliding_window_protocol,
+)
+
+
+class TestCrashEngineSweep:
+    @given(window=st.integers(1, 6), slack=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_every_go_back_n_falls(self, window, slack):
+        protocol = sliding_window_protocol(window, window + 1 + slack)
+        certificate = refute_crash_tolerance(protocol)
+        assert certificate.validate()
+
+    @given(window=st.integers(1, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_every_selective_repeat_falls(self, window):
+        certificate = refute_crash_tolerance(
+            selective_repeat_protocol(window)
+        )
+        assert certificate.validate()
+
+    @given(modulus=st.integers(2, 12))
+    @settings(max_examples=8, deadline=None)
+    def test_every_modulo_stenning_falls(self, modulus):
+        certificate = refute_crash_tolerance(
+            modulo_stenning_protocol(modulus)
+        )
+        assert certificate.validate()
+
+    @given(chunk=st.integers(1, 3), size=st.integers(0, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_every_fragmenting_size_class_falls(self, chunk, size):
+        certificate = refute_crash_tolerance(
+            fragmenting_protocol(chunk=chunk, max_fragments=3),
+            message_size=size,
+        )
+        assert certificate.validate()
+
+
+class TestHeaderEngineSweep:
+    @given(modulus=st.integers(2, 12))
+    @settings(max_examples=8, deadline=None)
+    def test_every_modulo_stenning_falls(self, modulus):
+        certificate = refute_bounded_headers(
+            modulo_stenning_protocol(modulus)
+        )
+        assert certificate.validate()
+        # Lemma 8.4's chain bound holds for every modulus.
+        assert (
+            certificate.stats["pump_rounds"]
+            <= certificate.stats["k"] * 4 * modulus
+        )
+
+    @given(window=st.integers(1, 4), slack=st.integers(0, 2))
+    @settings(max_examples=8, deadline=None)
+    def test_every_go_back_n_falls(self, window, slack):
+        certificate = refute_bounded_headers(
+            sliding_window_protocol(window, window + 1 + slack)
+        )
+        assert certificate.validate()
+
+    @given(window=st.integers(1, 3))
+    @settings(max_examples=5, deadline=None)
+    def test_every_selective_repeat_falls(self, window):
+        certificate = refute_bounded_headers(
+            selective_repeat_protocol(window)
+        )
+        assert certificate.validate()

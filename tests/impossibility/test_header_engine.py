@@ -1,0 +1,107 @@
+"""Tests for the Theorem 8.5 bounded-header engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalink import dl3, dl_well_formed, wdl_module
+from repro.impossibility import (
+    DUPLICATE_DELIVERY,
+    UNSENT_DELIVERY,
+    EngineError,
+    refute_bounded_headers,
+)
+from repro.protocols import (
+    alternating_bit_protocol,
+    baratz_segall_protocol,
+    modulo_stenning_protocol,
+    selective_repeat_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+BOUNDED_HEADER_VICTIMS = [
+    ("abp", alternating_bit_protocol),
+    ("sw1", lambda: sliding_window_protocol(1)),
+    ("sw2", lambda: sliding_window_protocol(2)),
+    ("sw4", lambda: sliding_window_protocol(4)),
+    ("mod-stenning2", lambda: modulo_stenning_protocol(2)),
+    ("mod-stenning4", lambda: modulo_stenning_protocol(4)),
+    ("mod-stenning8", lambda: modulo_stenning_protocol(8)),
+    ("selective-repeat-2", lambda: selective_repeat_protocol(2)),
+]
+
+
+class TestTheorem85:
+    @pytest.mark.parametrize(
+        "name,factory",
+        BOUNDED_HEADER_VICTIMS,
+        ids=[n for n, _ in BOUNDED_HEADER_VICTIMS],
+    )
+    def test_certificate_found_and_validates(self, name, factory):
+        certificate = refute_bounded_headers(factory())
+        assert certificate.theorem == "theorem-8.5"
+        assert certificate.validate()
+        assert certificate.kind in (DUPLICATE_DELIVERY, UNSENT_DELIVERY)
+
+    @pytest.mark.parametrize(
+        "name,factory",
+        BOUNDED_HEADER_VICTIMS,
+        ids=[n for n, _ in BOUNDED_HEADER_VICTIMS],
+    )
+    def test_violation_not_vacuous(self, name, factory):
+        certificate = refute_bounded_headers(factory())
+        verdict = wdl_module("t", "r").check(certificate.behavior)
+        assert not verdict.vacuous and not verdict.in_module
+        assert dl_well_formed(certificate.behavior, "t", "r").holds
+        assert dl3(certificate.behavior, "t", "r").holds
+
+    def test_no_crash_or_fail_used(self):
+        """Section 8's construction uses no fail/crash events at all."""
+        certificate = refute_bounded_headers(alternating_bit_protocol())
+        assert all(
+            a.name not in ("fail", "crash")
+            for a in certificate.behavior
+        )
+
+    def test_pump_rounds_grow_with_header_count(self):
+        """The T-chain bound is k * |headers|: more headers, more rounds."""
+        rounds = {}
+        for modulus in (2, 4, 8):
+            certificate = refute_bounded_headers(
+                modulo_stenning_protocol(modulus)
+            )
+            rounds[modulus] = certificate.stats["pump_rounds"]
+        assert rounds[2] < rounds[4] < rounds[8]
+
+    def test_stats_and_narrative(self):
+        certificate = refute_bounded_headers(alternating_bit_protocol())
+        assert certificate.stats["transit_packets"] >= 1
+        assert certificate.stats["k"] >= 1
+        assert any(
+            "Theorem 8.5" in line for line in certificate.narrative
+        )
+
+
+class TestHypothesisBoundary:
+    def test_stenning_rejected_up_front(self):
+        """Unbounded headers escape the theorem -- and the engine."""
+        with pytest.raises(EngineError, match="bounded"):
+            refute_bounded_headers(stenning_protocol())
+
+    def test_baratz_segall_rejected_up_front(self):
+        # Unbounded incarnation/sequence headers.
+        with pytest.raises(EngineError, match="bounded"):
+            refute_bounded_headers(baratz_segall_protocol())
+
+    def test_declared_k_too_small_detected(self):
+        with pytest.raises(EngineError, match="exceeding the declared"):
+            refute_bounded_headers(sliding_window_protocol(4), k=0)
+
+
+class TestDeterminism:
+    def test_engine_is_deterministic(self):
+        a = refute_bounded_headers(alternating_bit_protocol())
+        b = refute_bounded_headers(alternating_bit_protocol())
+        assert a.behavior == b.behavior
+        assert a.stats == b.stats

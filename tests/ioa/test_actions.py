@@ -1,0 +1,72 @@
+"""Tests for action values and the Automaton base conveniences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import Action, TransitionError, action_family, directed
+from .toys import Counter, Echo, ping, pong
+
+
+class TestAction:
+    def test_equality_by_value(self):
+        assert Action("a", ("t", "r"), 1) == Action("a", ("t", "r"), 1)
+        assert Action("a") != Action("b")
+        assert Action("a", ("t", "r")) != Action("a", ("r", "t"))
+        assert Action("a", None, 1) != Action("a", None, 2)
+
+    def test_hashable(self):
+        assert len({Action("a", None, 1), Action("a", None, 1)}) == 1
+
+    def test_key_ignores_payload(self):
+        assert Action("a", ("t", "r"), 1).key == Action("a", ("t", "r"), 2).key
+
+    def test_with_payload(self):
+        action = Action("a", ("t", "r"))
+        assert action.with_payload(5).payload == 5
+        assert action.with_payload(5).key == action.key
+
+    def test_directed_constructor(self):
+        action = directed("send", "t", "r", "x")
+        assert action.direction == ("t", "r")
+        assert action.payload == "x"
+
+    def test_action_family(self):
+        assert action_family("send", "t", "r") == ("send", ("t", "r"))
+
+    def test_str_rendering(self):
+        assert "send" in str(directed("send", "t", "r", 1))
+        assert "t,r" in str(directed("send", "t", "r"))
+
+
+class TestAutomatonBase:
+    def test_step_returns_post_state(self):
+        echo = Echo()
+        assert echo.step((), ping(3)) == (3,)
+
+    def test_step_raises_when_disabled(self):
+        echo = Echo()
+        with pytest.raises(TransitionError) as info:
+            echo.step((), pong(3))
+        assert "not enabled" in str(info.value)
+
+    def test_is_enabled(self):
+        echo = Echo()
+        assert echo.is_enabled((3,), pong(3))
+        assert not echo.is_enabled((3,), pong(4))
+
+    def test_is_quiescent(self):
+        echo = Echo()
+        assert echo.is_quiescent(())
+        assert not echo.is_quiescent((1,))
+
+    def test_default_single_task(self):
+        counter = Counter(1)
+        (task,) = list(counter.tasks())
+        from repro.ioa import Action as A
+
+        assert counter.task_of(A(counter.tag)) == task
+
+    def test_check_input_enabled(self):
+        echo = Echo()
+        assert echo.check_input_enabled((), [ping(1), ping(2)])

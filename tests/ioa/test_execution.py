@@ -1,0 +1,129 @@
+"""Tests for execution fragments, schedules and behaviors (paper 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import (
+    ExecutionFragment,
+    TransitionError,
+    external_of,
+    inputs_of,
+    project_schedule,
+    replay_schedule,
+)
+from .toys import Echo, ping, pong
+
+
+@pytest.fixture
+def echo():
+    return Echo()
+
+
+def run_echo(echo, *actions):
+    return replay_schedule(echo, echo.initial_state(), actions)
+
+
+class TestFragmentBasics:
+    def test_initial_fragment(self, echo):
+        fragment = ExecutionFragment.initial(())
+        assert len(fragment) == 0
+        assert fragment.first_state == fragment.final_state == ()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionFragment((1, 2), ())
+
+    def test_append(self, echo):
+        fragment = ExecutionFragment.initial(()).append(ping(1), (1,))
+        assert len(fragment) == 1
+        assert fragment.final_state == (1,)
+
+    def test_state_before_after(self, echo):
+        fragment = run_echo(echo, ping(1), pong(1))
+        assert fragment.state_before(0) == ()
+        assert fragment.state_after(0) == (1,)
+        assert fragment.state_after(1) == ()
+
+    def test_schedule_and_behavior(self, echo):
+        fragment = run_echo(echo, ping(1), pong(1))
+        assert fragment.schedule() == (ping(1), pong(1))
+        # Both actions are external for Echo.
+        assert fragment.behavior(echo.signature) == (ping(1), pong(1))
+
+    def test_extend(self, echo):
+        first = run_echo(echo, ping(1))
+        second = replay_schedule(echo, first.final_state, [pong(1)])
+        combined = first.extend(second)
+        assert combined.schedule() == (ping(1), pong(1))
+
+    def test_extend_rejects_mismatch(self, echo):
+        first = run_echo(echo, ping(1))
+        other = ExecutionFragment.initial((99,))
+        with pytest.raises(ValueError):
+            first.extend(other)
+
+    def test_prefix_suffix(self, echo):
+        fragment = run_echo(echo, ping(1), ping(2), pong(1))
+        assert fragment.prefix(1).schedule() == (ping(1),)
+        assert fragment.suffix_from(1).schedule() == (ping(2), pong(1))
+        assert fragment.prefix(0).schedule() == ()
+        with pytest.raises(ValueError):
+            fragment.prefix(4)
+
+    def test_truncate_after(self, echo):
+        fragment = run_echo(echo, ping(1), ping(2), pong(1))
+        truncated = fragment.truncate_after(lambda a: a.name == "pong")
+        assert truncated.schedule() == (ping(1), ping(2), pong(1))
+        assert fragment.truncate_after(lambda a: a.name == "zzz") is None
+
+    def test_with_final_state(self, echo):
+        fragment = run_echo(echo, ping(1))
+        patched = fragment.with_final_state((42,))
+        assert patched.final_state == (42,)
+        assert patched.schedule() == fragment.schedule()
+
+
+class TestValidation:
+    def test_valid_execution(self, echo):
+        fragment = run_echo(echo, ping(1), pong(1))
+        assert fragment.is_valid_for(echo)
+        assert fragment.is_execution_of(echo)
+
+    def test_invalid_step_detected(self, echo):
+        bogus = ExecutionFragment(((), (5,)), (pong(5),))
+        assert not bogus.is_valid_for(echo)
+
+    def test_non_start_state_not_execution(self, echo):
+        fragment = ExecutionFragment.initial((1,))
+        assert not fragment.is_execution_of(echo)
+
+
+class TestReplay:
+    def test_replay_raises_on_disabled(self, echo):
+        with pytest.raises(TransitionError):
+            run_echo(echo, pong(1))  # nothing to echo yet
+
+    def test_replay_fifo_order_enforced(self, echo):
+        with pytest.raises(TransitionError):
+            run_echo(echo, ping(1), ping(2), pong(2))
+
+
+class TestScheduleHelpers:
+    def test_project_schedule(self, echo):
+        from repro.ioa import Action
+
+        foreign = Action("elsewhere")
+        schedule = (ping(1), foreign, pong(1))
+        assert project_schedule(schedule, echo.signature) == (
+            ping(1),
+            pong(1),
+        )
+
+    def test_inputs_of(self, echo):
+        schedule = (ping(1), pong(1))
+        assert inputs_of(schedule, echo.signature) == (ping(1),)
+
+    def test_external_of(self, echo):
+        schedule = (ping(1), pong(1))
+        assert external_of(schedule, echo.signature) == schedule

@@ -1,0 +1,49 @@
+"""Tests for the bounded state-space explorer."""
+
+from __future__ import annotations
+
+from repro.ioa import explore, reachable_states
+from .toys import Counter, Echo, Nondet, ping
+
+
+class TestExplore:
+    def test_counter_reaches_all_values(self):
+        counter = Counter(5)
+        states = reachable_states(counter)
+        assert states == set(range(6))
+
+    def test_invariant_violation_found_with_trace(self):
+        counter = Counter(5)
+        result = explore(counter, invariant=lambda s: s != 2)
+        assert not result.ok
+        state, trace = result.violation
+        assert state == 2
+        assert len(trace) == 3  # three ticks from 5 to 2
+
+    def test_invariant_checked_at_start(self):
+        counter = Counter(0)
+        result = explore(counter, invariant=lambda s: s != 0)
+        assert not result.ok
+        assert result.violation[1] == ()
+
+    def test_environment_inputs_explored(self):
+        echo = Echo()
+        states = reachable_states(
+            echo,
+            environment=lambda s: [ping(len(s))] if len(s) < 3 else [],
+        )
+        # Queues of payloads (0, 1, 2 ...) up to depth 3, plus drained
+        # variants.
+        assert () in states
+        assert (0,) in states
+        assert (0, 1, 2) in states
+
+    def test_nondeterminism_explored_exhaustively(self):
+        states = reachable_states(Nondet())
+        assert states == {"start", "heads", "tails"}
+
+    def test_truncation_flag(self):
+        counter = Counter(100)
+        result = explore(counter, max_states=10)
+        assert result.truncated
+        assert len(result.states) <= 11

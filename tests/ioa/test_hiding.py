@@ -1,0 +1,50 @@
+"""Tests for the output-hiding operator (paper 2.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import Composition, Hidden, SignatureError, hide
+from .toys import Echo, Forwarder, ping, pong
+
+
+@pytest.fixture
+def hidden_pipeline():
+    composed = Composition([Echo(), Forwarder()])
+    return hide(composed, [("pong", None)])
+
+
+class TestHiding:
+    def test_hidden_action_becomes_internal(self, hidden_pipeline):
+        assert hidden_pipeline.signature.is_internal(pong(1))
+        assert hidden_pipeline.signature.is_input(ping(1))
+
+    def test_behavior_excludes_hidden(self, hidden_pipeline):
+        from repro.ioa import fair_extension, ExecutionFragment
+
+        fragment = fair_extension(
+            hidden_pipeline,
+            ExecutionFragment.initial(hidden_pipeline.initial_state()),
+            inputs=[ping(1)],
+        )
+        behavior = fragment.behavior(hidden_pipeline.signature)
+        names = [a.name for a in behavior]
+        assert names == ["ping", "ack"]
+        # The hidden pong still occurs in the schedule.
+        assert "pong" in [a.name for a in fragment.actions]
+
+    def test_transitions_delegate(self, hidden_pipeline):
+        state = hidden_pipeline.initial_state()
+        assert hidden_pipeline.transitions(state, ping(1))
+
+    def test_hiding_non_output_rejected(self):
+        with pytest.raises(SignatureError):
+            hide(Echo(), [("ping", None)])
+
+    def test_inner_accessible(self, hidden_pipeline):
+        assert isinstance(hidden_pipeline, Hidden)
+        assert hidden_pipeline.inner.name == "composition"
+        assert hidden_pipeline.hidden_families == {("pong", None)}
+
+    def test_tasks_delegate(self, hidden_pipeline):
+        assert list(hidden_pipeline.tasks())

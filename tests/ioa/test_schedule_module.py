@@ -1,0 +1,97 @@
+"""Tests for schedule modules and the checkable ``solves`` relation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    ActionSignature,
+    ModuleVerdict,
+    PropertyResult,
+    ScheduleModule,
+    check_solves_on,
+)
+
+
+def has_a(schedule):
+    if any(x.name == "a" for x in schedule):
+        return PropertyResult.ok("has-a")
+    return PropertyResult.violated("has-a", "no 'a' action")
+
+
+def no_b(schedule):
+    for index, action in enumerate(schedule):
+        if action.name == "b":
+            return PropertyResult.violated("no-b", f"'b' at {index}")
+    return PropertyResult.ok("no-b")
+
+
+@pytest.fixture
+def module():
+    signature = ActionSignature.make(
+        inputs=[("a", None)], outputs=[("b", None), ("c", None)]
+    )
+    return ScheduleModule("test", signature, [has_a], [no_b])
+
+
+A, B, C = Action("a"), Action("b"), Action("c")
+
+
+class TestPropertyResult:
+    def test_truthiness(self):
+        assert PropertyResult.ok("x")
+        assert not PropertyResult.violated("x", "w")
+
+    def test_witness_carried(self):
+        assert PropertyResult.violated("x", "boom").witness == "boom"
+
+
+class TestModuleCheck:
+    def test_guarantee_holds(self, module):
+        verdict = module.check([A, C])
+        assert verdict.in_module and not verdict.vacuous
+
+    def test_guarantee_violated(self, module):
+        verdict = module.check([A, B])
+        assert not verdict.in_module
+        assert [f.name for f in verdict.failures] == ["no-b"]
+
+    def test_vacuous_membership(self, module):
+        # Assumption fails -> sequence is in the module vacuously,
+        # even though the guarantee is violated too.
+        verdict = module.check([B])
+        assert verdict.in_module and verdict.vacuous
+        assert verdict.assumption_failures
+
+    def test_contains(self, module):
+        assert module.contains([A])
+        assert not module.contains([A, B])
+
+    def test_behavior_of_filters_external(self, module):
+        internal_sig = ActionSignature.make(
+            inputs=[("a", None)], internals=[("c", None)]
+        )
+        internal_module = ScheduleModule("m", internal_sig, [], [])
+        assert internal_module.behavior_of([A, C]) == (A,)
+
+
+class TestWeakerThan:
+    def test_weaker_specification_contains_stronger(self, module):
+        weaker = ScheduleModule(
+            "weak", module.signature, [has_a], []
+        )
+        samples = [[A], [A, B], [B], [A, C]]
+        assert weaker.weaker_than(module, samples)
+        assert not module.weaker_than(weaker, samples)
+
+
+class TestCheckSolves:
+    def test_all_pass(self, module):
+        ok, verdict = check_solves_on(module, [[A], [A, C]])
+        assert ok and verdict is None
+
+    def test_failure_reported(self, module):
+        ok, verdict = check_solves_on(module, [[A], [A, B]])
+        assert not ok
+        assert isinstance(verdict, ModuleVerdict)

@@ -1,0 +1,130 @@
+"""Tests for action signatures and their composition (paper 2.1, 2.5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import (
+    Action,
+    ActionSignature,
+    SignatureError,
+    compose_signatures,
+    strongly_compatible,
+)
+
+A = ("a", None)
+B = ("b", None)
+C = ("c", None)
+D = ("d", None)
+
+
+def sig(inputs=(), outputs=(), internals=()):
+    return ActionSignature.make(inputs, outputs, internals)
+
+
+class TestClassification:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SignatureError):
+            sig(inputs=[A], outputs=[A])
+        with pytest.raises(SignatureError):
+            sig(inputs=[A], internals=[A])
+        with pytest.raises(SignatureError):
+            sig(outputs=[A], internals=[A])
+
+    def test_classify(self):
+        signature = sig(inputs=[A], outputs=[B], internals=[C])
+        assert signature.classify(Action("a")) == "input"
+        assert signature.classify(Action("b")) == "output"
+        assert signature.classify(Action("c")) == "internal"
+        assert signature.classify(Action("d")) is None
+
+    def test_classification_ignores_payload(self):
+        signature = sig(inputs=[A])
+        assert signature.is_input(Action("a", None, 1))
+        assert signature.is_input(Action("a", None, "anything"))
+
+    def test_classification_respects_direction(self):
+        directed = ("a", ("t", "r"))
+        signature = sig(inputs=[directed])
+        assert signature.is_input(Action("a", ("t", "r")))
+        assert not signature.is_input(Action("a", ("r", "t")))
+        assert not signature.is_input(Action("a"))
+
+    def test_external_and_local(self):
+        signature = sig(inputs=[A], outputs=[B], internals=[C])
+        assert signature.is_external(Action("a"))
+        assert signature.is_external(Action("b"))
+        assert not signature.is_external(Action("c"))
+        assert signature.is_local(Action("b"))
+        assert signature.is_local(Action("c"))
+        assert not signature.is_local(Action("a"))
+
+    def test_derived_sets(self):
+        signature = sig(inputs=[A], outputs=[B], internals=[C])
+        assert signature.external == {A, B}
+        assert signature.local == {B, C}
+        assert signature.all_families == {A, B, C}
+
+    def test_external_signature(self):
+        signature = sig(inputs=[A], outputs=[B], internals=[C])
+        assert not signature.is_external_signature()
+        external = signature.external_signature()
+        assert external.is_external_signature()
+        assert external.inputs == {A}
+        assert external.outputs == {B}
+
+
+class TestHiding:
+    def test_hide_moves_outputs_to_internal(self):
+        signature = sig(outputs=[A, B]).hide([A])
+        assert signature.is_internal(Action("a"))
+        assert signature.is_output(Action("b"))
+
+    def test_hide_rejects_non_outputs(self):
+        with pytest.raises(SignatureError):
+            sig(inputs=[A]).hide([A])
+
+
+class TestCompatibility:
+    def test_shared_output_incompatible(self):
+        assert not strongly_compatible([sig(outputs=[A]), sig(outputs=[A])])
+
+    def test_internal_leak_incompatible(self):
+        assert not strongly_compatible([sig(internals=[A]), sig(inputs=[A])])
+
+    def test_input_sharing_is_fine(self):
+        assert strongly_compatible([sig(inputs=[A]), sig(inputs=[A])])
+
+    def test_output_to_input_is_fine(self):
+        assert strongly_compatible([sig(outputs=[A]), sig(inputs=[A])])
+
+    def test_empty_collection_compatible(self):
+        assert strongly_compatible([])
+
+
+class TestComposition:
+    def test_output_beats_input(self):
+        # An action that is an output of one component and input of
+        # another is an output of the composition.
+        composed = compose_signatures([sig(outputs=[A]), sig(inputs=[A])])
+        assert composed.is_output(Action("a"))
+        assert not composed.is_input(Action("a"))
+
+    def test_unmatched_inputs_stay_inputs(self):
+        composed = compose_signatures([sig(inputs=[A]), sig(outputs=[B])])
+        assert composed.is_input(Action("a"))
+
+    def test_internals_union(self):
+        composed = compose_signatures(
+            [sig(internals=[C]), sig(internals=[D])]
+        )
+        assert composed.is_internal(Action("c"))
+        assert composed.is_internal(Action("d"))
+
+    def test_incompatible_raises(self):
+        with pytest.raises(SignatureError):
+            compose_signatures([sig(outputs=[A]), sig(outputs=[A])])
+
+    def test_empty_composition(self):
+        composed = compose_signatures([])
+        assert not composed.all_families

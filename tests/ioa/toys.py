@@ -1,0 +1,129 @@
+"""Tiny I/O automata used by the framework tests."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton
+
+
+PING = ("ping", None)
+PONG = ("pong", None)
+TICK = ("tick", None)
+
+
+def ping(n: int = None) -> Action:
+    return Action("ping", None, n)
+
+
+def pong(n: int = None) -> Action:
+    return Action("pong", None, n)
+
+
+def tick() -> Action:
+    return Action("tick")
+
+
+class Echo(Automaton):
+    """Input ``ping(n)`` -> output ``pong(n)`` once each, FIFO."""
+
+    name = "echo"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(inputs=[PING], outputs=[PONG])
+
+    def initial_state(self):
+        return ()
+
+    def transitions(self, state, action):
+        if action.name == "ping":
+            return (state + (action.payload,),)
+        if action.name == "pong":
+            if state and state[0] == action.payload:
+                return (state[1:],)
+            return ()
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state:
+            yield pong(state[0])
+
+
+class Counter(Automaton):
+    """Counts down from its start value via internal tick actions.
+
+    ``tag`` names the internal action, so several counters can compose
+    (internal actions must be private to their automaton).
+    """
+
+    def __init__(self, start: int = 3, tag: str = "tick"):
+        self.start = start
+        self.tag = tag
+        self.name = f"counter[{tag}]"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(internals=[(self.tag, None)])
+
+    def initial_state(self):
+        return self.start
+
+    def transitions(self, state, action):
+        if action.name == self.tag and state > 0:
+            return (state - 1,)
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state > 0:
+            yield Action(self.tag)
+
+
+class Forwarder(Automaton):
+    """Input ``pong(n)`` -> output ``ack(n)``; composes after Echo."""
+
+    name = "forwarder"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(
+            inputs=[PONG], outputs=[("ack", None)]
+        )
+
+    def initial_state(self):
+        return ()
+
+    def transitions(self, state, action):
+        if action.name == "pong":
+            return (state + (action.payload,),)
+        if action.name == "ack":
+            if state and state[0] == action.payload:
+                return (state[1:],)
+            return ()
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state:
+            yield Action("ack", None, state[0])
+
+
+class Nondet(Automaton):
+    """A single output enabled forever, with two possible post-states."""
+
+    name = "nondet"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(outputs=[("flip", None)])
+
+    def initial_state(self):
+        return "start"
+
+    def transitions(self, state, action):
+        if action.name == "flip" and state == "start":
+            return ("heads", "tails")
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state == "start":
+            yield Action("flip")

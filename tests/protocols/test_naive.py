@@ -1,0 +1,77 @@
+"""Tests for the strawman protocols (negative controls)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import MessageFactory
+from repro.datalink import (
+    check_message_independence,
+    dl4,
+    dl5,
+    dl_module,
+)
+from repro.protocols import (
+    PHANTOM_MESSAGE,
+    direct_protocol,
+    eager_protocol,
+    message_peeking_protocol,
+    spontaneous_protocol,
+)
+from repro.sim import delivery_stats, fifo_system
+
+from ..conftest import deliver_all
+
+
+class TestDirect:
+    def test_works_over_perfect_channels(self, factory):
+        system = fifo_system(direct_protocol())
+        messages = factory.fresh_many(4)
+        fragment = deliver_all(system, messages)
+        assert delivery_stats(fragment).delivered == 4
+        assert dl_module("t", "r").contains(system.behavior(fragment))
+
+    def test_is_message_independent(self):
+        assert check_message_independence(direct_protocol()).independent
+
+
+class TestEager:
+    def test_single_copy_over_perfect_channels(self, factory):
+        # With no loss and fast acks the duplicate window is narrow but
+        # retransmission can still race the ack; all we check here is
+        # that every message arrives at least once.
+        system = fifo_system(eager_protocol())
+        messages = factory.fresh_many(4)
+        fragment = deliver_all(system, messages)
+        delivered = {
+            a.payload for a in fragment.actions if a.name == "receive_msg"
+        }
+        assert set(messages) <= delivered
+
+
+class TestSpontaneous:
+    def test_violates_dl5_immediately(self, factory):
+        system = fifo_system(spontaneous_protocol())
+        fragment = deliver_all(system, factory.fresh_many(1))
+        behavior = system.behavior(fragment)
+        assert not dl5(behavior, "t", "r").holds
+        assert any(
+            a.name == "receive_msg" and a.payload == PHANTOM_MESSAGE
+            for a in behavior
+        )
+
+
+class TestPeeking:
+    def test_drops_even_messages(self):
+        system = fifo_system(message_peeking_protocol())
+        factory = MessageFactory()
+        messages = factory.fresh_many(4)  # idents 0..3
+        fragment = deliver_all(system, messages)
+        delivered = {
+            a.payload for a in fragment.actions if a.name == "receive_msg"
+        }
+        assert delivered == {messages[1], messages[3]}
+
+    def test_flagged_as_message_dependent(self):
+        report = check_message_independence(message_peeking_protocol())
+        assert not report.independent

@@ -1,0 +1,148 @@
+"""Tests for the simulation runner, fault scripts and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alphabets import MessageFactory
+from repro.datalink import dl2, dl3, dl_well_formed
+from repro.protocols import (
+    alternating_bit_protocol,
+    stenning_protocol,
+)
+from repro.sim import (
+    FaultPlan,
+    channel_stats,
+    crash_storm,
+    delivery_stats,
+    distinct_headers_used,
+    fifo_system,
+    generate_script,
+    run_batch,
+    run_scenario,
+)
+
+from ..conftest import deliver_all
+
+
+class TestFaultScripts:
+    def test_script_starts_with_wakes(self):
+        system = fifo_system(alternating_bit_protocol())
+        script = generate_script(system, FaultPlan(messages=5, seed=1))
+        assert script.actions[0] == system.wake_t()
+        assert script.actions[1] == system.wake_r()
+        assert len(script.messages) == 5
+
+    def test_plain_script_has_no_faults(self):
+        system = fifo_system(alternating_bit_protocol())
+        script = generate_script(system, FaultPlan(messages=5, seed=1))
+        assert not script.has_faults
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scripts_satisfy_environment_obligations(self, seed):
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(
+            messages=8,
+            fail_probability=0.2,
+            crash_probability=0.1,
+            seed=seed,
+        )
+        script = generate_script(system, plan)
+        assert dl_well_formed(script.actions, "t", "r").holds
+        assert dl2(script.actions, "t", "r").holds
+        assert dl3(script.actions, "t", "r").holds
+
+    def test_scripts_deterministic_in_seed(self):
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(messages=5, fail_probability=0.3, seed=9)
+        factory_a = MessageFactory()
+        factory_b = MessageFactory()
+        a = generate_script(system, plan, factory_a)
+        b = generate_script(system, plan, factory_b)
+        assert a.actions == b.actions
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_receiver_outages_stay_well_formed(self, seed):
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(
+            messages=6,
+            fail_probability=0.15,
+            receiver_fail_probability=0.15,
+            seed=seed,
+        )
+        script = generate_script(system, plan)
+        assert dl_well_formed(script.actions, "t", "r").holds
+        assert dl2(script.actions, "t", "r").holds
+
+    def test_crash_storm_counts(self):
+        system = fifo_system(alternating_bit_protocol())
+        script = crash_storm(system, crashes=4, messages_between=2)
+        assert script.crash_count == 4
+        assert len(script.messages) == 10  # initial burst + 4 more
+        assert dl_well_formed(script.actions, "t", "r").holds
+
+
+class TestRunner:
+    def test_scenario_quiesces(self):
+        system = fifo_system(alternating_bit_protocol())
+        script = generate_script(system, FaultPlan(messages=5, seed=2))
+        result = run_scenario(system, script.actions, seed=2)
+        assert result.quiescent
+        assert result.steps >= len(script.actions)
+
+    def test_interleaving_differs_across_seeds(self):
+        system_a = fifo_system(alternating_bit_protocol())
+        system_b = fifo_system(alternating_bit_protocol())
+        script = generate_script(system_a, FaultPlan(messages=6, seed=3))
+        a = run_scenario(system_a, script.actions, seed=1)
+        b = run_scenario(system_b, script.actions, seed=2)
+        # Same inputs, different interleavings (almost surely).
+        assert a.fragment.actions != b.fragment.actions
+
+    def test_run_batch(self):
+        results = run_batch(
+            lambda seed: fifo_system(alternating_bit_protocol()),
+            lambda system, seed: generate_script(
+                system, FaultPlan(messages=3, seed=seed)
+            ).actions,
+            seeds=range(3),
+        )
+        assert len(results) == 3
+        assert all(r.quiescent for r in results)
+
+
+class TestMetrics:
+    def test_delivery_stats(self, factory):
+        system = fifo_system(alternating_bit_protocol())
+        messages = factory.fresh_many(5)
+        fragment = deliver_all(system, messages)
+        stats = delivery_stats(fragment)
+        assert stats.sent == 5
+        assert stats.delivered == 5
+        assert stats.duplicates == 0
+        assert stats.delivery_ratio == 1.0
+        assert stats.mean_latency > 0
+        assert len(stats.latencies) == 5
+
+    def test_channel_stats(self, factory):
+        system = fifo_system(alternating_bit_protocol())
+        fragment = deliver_all(system, factory.fresh_many(4))
+        tr = channel_stats(fragment, "t", "r")
+        rt = channel_stats(fragment, "r", "t")
+        assert tr.packets_sent >= 4
+        assert tr.packets_received >= 4
+        assert tr.loss_ratio == 0.0  # perfect channels
+        assert tr.distinct_headers == 2  # (DATA,0) and (DATA,1)
+        assert rt.distinct_headers == 2  # (ACK,0) and (ACK,1)
+
+    def test_distinct_headers_stenning_grows(self, factory):
+        system = fifo_system(stenning_protocol())
+        fragment = deliver_all(system, factory.fresh_many(6))
+        assert distinct_headers_used(fragment) == 6
+
+    def test_empty_fragment_stats(self):
+        from repro.ioa import ExecutionFragment
+
+        stats = delivery_stats(ExecutionFragment.initial(()))
+        assert stats.sent == 0 and stats.delivery_ratio == 1.0
+        assert stats.mean_latency == 0.0

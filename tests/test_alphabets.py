@@ -1,0 +1,152 @@
+"""Tests for the message/packet alphabets and renaming machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.alphabets import (
+    Message,
+    MessageFactory,
+    Packet,
+    messages_in,
+    rename_messages,
+    strip_uids,
+)
+
+
+class TestMessageFactory:
+    def test_fresh_messages_are_distinct(self):
+        factory = MessageFactory()
+        batch = factory.fresh_many(100)
+        assert len(set(batch)) == 100
+
+    def test_fresh_across_calls(self):
+        factory = MessageFactory()
+        first = factory.fresh()
+        second = factory.fresh()
+        assert first != second
+
+    def test_label_is_carried(self):
+        factory = MessageFactory(label="x")
+        assert factory.fresh().label == "x"
+
+    def test_start_offset(self):
+        factory = MessageFactory(start=10)
+        assert factory.fresh().ident == 10
+
+    def test_distinct_factories_same_labels_collide_intentionally(self):
+        # Two factories with the same label produce equal messages; the
+        # engines always use distinct labels per construction phase.
+        a = MessageFactory(label="m")
+        b = MessageFactory(label="m")
+        assert a.fresh() == b.fresh()
+
+    def test_messages_are_ordered(self):
+        factory = MessageFactory()
+        a, b = factory.fresh_many(2)
+        assert a < b
+
+
+class TestPacket:
+    def test_with_uid_round_trip(self):
+        packet = Packet("H", (Message(1),))
+        stamped = packet.with_uid(7)
+        assert stamped.uid == 7
+        assert stamped.strip_uid() == packet
+
+    def test_header_class_ignores_message_identity(self):
+        p1 = Packet("H", (Message(1),), uid=1)
+        p2 = Packet("H", (Message(2),), uid=2)
+        assert p1.header_class == p2.header_class
+
+    def test_header_class_distinguishes_arity(self):
+        assert Packet("H").header_class != Packet("H", (Message(1),)).header_class
+
+    def test_header_class_distinguishes_headers(self):
+        assert Packet("A").header_class != Packet("B").header_class
+
+    def test_packets_hashable(self):
+        assert len({Packet("H", (), 1), Packet("H", (), 1)}) == 1
+
+
+@dataclass(frozen=True)
+class _Core:
+    items: Tuple[Message, ...]
+    label: str = "core"
+
+
+class TestRenaming:
+    def test_rename_message(self):
+        m1, m2 = Message(1), Message(2)
+        assert rename_messages(m1, {m1: m2}) == m2
+
+    def test_rename_leaves_unmapped_fixed(self):
+        m1, m2 = Message(1), Message(2)
+        assert rename_messages(m2, {m1: Message(3)}) == m2
+
+    def test_rename_tuple(self):
+        m1, m2 = Message(1), Message(2)
+        assert rename_messages((m1, "x", 3), {m1: m2}) == (m2, "x", 3)
+
+    def test_rename_packet_body(self):
+        m1, m2 = Message(1), Message(2)
+        packet = Packet("H", (m1,), uid=5)
+        renamed = rename_messages(packet, {m1: m2})
+        assert renamed.body == (m2,)
+        assert renamed.uid == 5  # uid untouched by renaming
+
+    def test_rename_dataclass(self):
+        m1, m2 = Message(1), Message(2)
+        core = _Core((m1,))
+        renamed = rename_messages(core, {m1: m2})
+        assert renamed == _Core((m2,))
+
+    def test_rename_frozenset(self):
+        m1, m2 = Message(1), Message(2)
+        assert rename_messages(frozenset({m1}), {m1: m2}) == frozenset({m2})
+
+    def test_rename_dict(self):
+        m1, m2 = Message(1), Message(2)
+        assert rename_messages({m1: "v"}, {m1: m2}) == {m2: "v"}
+
+    def test_rename_scalars_pass_through(self):
+        assert rename_messages(42, {}) == 42
+        assert rename_messages("s", {}) == "s"
+        assert rename_messages(None, {}) is None
+
+
+class TestStripUids:
+    def test_strip_packet(self):
+        packet = Packet("H", (Message(1),), uid=9)
+        assert strip_uids(packet).uid is None
+
+    def test_strip_nested(self):
+        packet = Packet("H", (), uid=9)
+        core = _Core(())
+        value = (core, (packet,))
+        stripped = strip_uids(value)
+        assert stripped[1][0].uid is None
+
+    def test_strip_is_idempotent(self):
+        packet = Packet("H", (Message(1),), uid=9)
+        assert strip_uids(strip_uids(packet)) == strip_uids(packet)
+
+
+class TestMessagesIn:
+    def test_finds_in_packet(self):
+        m = Message(3)
+        assert messages_in(Packet("H", (m,))) == (m,)
+
+    def test_finds_in_dataclass(self):
+        m1, m2 = Message(1), Message(2)
+        assert set(messages_in(_Core((m1, m2)))) == {m1, m2}
+
+    def test_empty_for_scalars(self):
+        assert messages_in(("a", 1, None)) == ()
+
+    def test_traversal_order_in_tuples(self):
+        m1, m2 = Message(1), Message(2)
+        assert messages_in((m2, m1)) == (m2, m1)

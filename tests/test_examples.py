@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline it promises.  Keeps the examples honest as the library evolves."""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart")
+        assert "delivered 5/5" in out
+        assert "certificate independently validated: True" in out
+
+    def test_crash_impossibility(self):
+        out = run_example("crash_impossibility")
+        assert out.count("True") >= 8  # every victim validated
+        assert "rejected" in out  # the non-volatile boundary
+
+    def test_bounded_headers(self):
+        out = run_example("bounded_headers")
+        assert "duplicate-delivery" in out
+        assert "rejected" in out
+        assert "slopes" in out
+
+    def test_noisy_link_transfer(self):
+        out = run_example("noisy_link_transfer")
+        assert out.count("True") >= 8  # every run DL-conformant
+        assert "20/20" in out
+
+    def test_crash_recovery_session(self):
+        out = run_example("crash_recovery_session")
+        assert "total safety violations" not in out  # table per run
+        assert "rejected" in out
+
+    def test_exhaustive_verification(self):
+        out = run_example("exhaustive_verification")
+        assert "VERIFIED" in out and "COUNTEREXAMPLE" in out
+        assert "t station" in out  # the rendered chart
+
+    def test_two_hop_relay(self):
+        out = run_example("two_hop_relay")
+        assert "delivered 8/8" in out
+        assert "in order: True" in out

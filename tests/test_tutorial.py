@@ -1,0 +1,180 @@
+"""Executable form of docs/tutorial.md: every claim there is tested here.
+
+The NAK protocol below is the tutorial's verbatim example; each section
+of the tutorial corresponds to one test.  If these tests pass, the
+tutorial's code and claims are accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+import pytest
+
+from repro.alphabets import Message, Packet
+from repro.analysis import render_msc, verify_delivery_order
+from repro.datalink import (
+    DataLinkProtocol,
+    ReceiverLogic,
+    TransmitterLogic,
+    check_crashing,
+    check_message_independence,
+    check_over_lossy_fifo,
+    check_over_reordering,
+    probe_k_bound,
+)
+from repro.impossibility import (
+    refute_bounded_headers,
+    refute_crash_tolerance,
+)
+
+
+@dataclass(frozen=True)
+class TxCore:
+    bit: int = 0
+    queue: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+class NakTransmitter(TransmitterLogic):
+    def initial_core(self):
+        return TxCore()
+
+    def on_wake(self, core):
+        return replace(core, awake=True)
+
+    def on_fail(self, core):
+        return replace(core, awake=False)
+
+    def on_send_msg(self, core, message):
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core, packet):
+        kind, bit = packet.header
+        if not core.queue:
+            return core
+        if kind == "OK" and bit == core.bit:
+            return replace(core, bit=core.bit ^ 1, queue=core.queue[1:])
+        if kind == "NAK" and bit == core.bit ^ 1:
+            # The receiver already expects the next bit: our current
+            # message must have been delivered -- an implicit ack.
+            return replace(core, bit=core.bit ^ 1, queue=core.queue[1:])
+        return core
+
+    def enabled_sends(self, core) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet(("MSG", core.bit), (core.queue[0],))
+
+    def after_send(self, core, packet):
+        return core
+
+    def header_space(self):
+        return frozenset({("MSG", 0), ("MSG", 1)})
+
+
+@dataclass(frozen=True)
+class RxCore:
+    expected: int = 0
+    inbox: Tuple[Message, ...] = ()
+    replies: Tuple[Tuple[str, int], ...] = ()
+    awake: bool = False
+
+
+class NakReceiver(ReceiverLogic):
+    def initial_core(self):
+        return RxCore()
+
+    def on_wake(self, core):
+        return replace(core, awake=True)
+
+    def on_fail(self, core):
+        return replace(core, awake=False)
+
+    def on_packet(self, core, packet):
+        kind, bit = packet.header
+        if kind != "MSG":
+            return core
+        if bit == core.expected:
+            (message,) = packet.body
+            core = replace(
+                core,
+                expected=core.expected ^ 1,
+                inbox=core.inbox + (message,),
+            )
+            reply = ("OK", bit)
+        else:
+            reply = ("NAK", core.expected)
+        return replace(core, replies=(core.replies + (reply,))[-4:])
+
+    def enabled_sends(self, core) -> Iterable[Packet]:
+        if core.awake and core.replies:
+            yield Packet(core.replies[0])
+
+    def after_send(self, core, packet):
+        return replace(core, replies=core.replies[1:])
+
+    def enabled_deliveries(self, core) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(self, core, message):
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self):
+        return frozenset({("OK", 0), ("OK", 1), ("NAK", 0), ("NAK", 1)})
+
+
+def nak_protocol() -> DataLinkProtocol:
+    return DataLinkProtocol(
+        name="nak-abp",
+        transmitter_factory=NakTransmitter,
+        receiver_factory=NakReceiver,
+        description="alternating bit with explicit negative acks",
+    )
+
+
+class TestSection2Hypotheses:
+    def test_hypothesis_checks(self):
+        protocol = nak_protocol()
+        assert check_message_independence(protocol).independent
+        assert check_crashing(protocol).crashing
+        assert protocol.has_bounded_headers()
+        assert len(protocol.header_space()) == 6
+        assert probe_k_bound(protocol).k == 1
+
+
+class TestSection3Simulation:
+    def test_fine_over_fifo(self):
+        assert check_over_lossy_fifo(
+            nak_protocol(), loss_rate=0.4, seeds=range(5)
+        ).ok
+
+    def test_breaks_over_reordering(self):
+        assert not check_over_reordering(
+            nak_protocol(), seeds=range(4), max_steps=50_000
+        ).ok
+
+
+class TestSection4Engines:
+    def test_both_engines_defeat_it(self):
+        crash_cert = refute_crash_tolerance(nak_protocol())
+        header_cert = refute_bounded_headers(nak_protocol())
+        assert crash_cert.validate()
+        assert header_cert.validate()
+
+
+class TestSection5Exhaustive:
+    def test_verified_over_fifo(self):
+        result = verify_delivery_order(
+            nak_protocol(), messages=2, capacity=2
+        )
+        assert result.ok and result.exhaustive
+
+    def test_counterexample_under_reordering(self):
+        broken = verify_delivery_order(
+            nak_protocol(), messages=2, capacity=3, reorder_depth=2
+        )
+        assert not broken.ok
+        chart = render_msc(broken.counterexample)
+        assert "receive_msg" in chart
