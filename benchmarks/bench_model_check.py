@@ -47,6 +47,34 @@ def test_exhaustive_verification(benchmark, name):
     benchmark.extra_info["states"] = result.states_explored
 
 
+RAISED_BOUNDS = {
+    # Bounds the seed explorer was too slow to reach comfortably; the
+    # exploration engine (see bench/BENCH_explore.json) makes them
+    # routine.  sliding-window at 3 messages / capacity 3 is a ~105k
+    # state proof.
+    "abp-3msg-cap3": (alternating_bit_protocol, 3, 3),
+    "sliding-window-2-3msg-cap3": (lambda: sliding_window_protocol(2), 3, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(RAISED_BOUNDS))
+def test_exhaustive_verification_raised_bounds(benchmark, name):
+    factory, messages, capacity = RAISED_BOUNDS[name]
+
+    result = benchmark.pedantic(
+        lambda: verify_delivery_order(
+            factory(),
+            messages=messages,
+            capacity=capacity,
+            max_states=2_000_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok and result.exhaustive
+    benchmark.extra_info["states"] = result.states_explored
+
+
 @pytest.mark.parametrize(
     "name,factory",
     [("eager", eager_protocol), ("direct", direct_protocol)],

@@ -7,6 +7,11 @@ files time the same code; this script prints the *result tables* — who
 wins, by how much.
 
 Run:  python benchmarks/run_experiments.py [E1 E2 ...]
+
+``--bench-explore[=PATH]`` additionally benchmarks the exploration
+engine against the reference BFS (states/sec per protocol) and writes
+the report to ``bench/BENCH_explore.json`` (or PATH).  With no
+experiment names given alongside it, only the benchmark runs.
 """
 
 from __future__ import annotations
@@ -14,11 +19,34 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import run_all, to_text
+from repro.ioa.engine.bench import DEFAULT_PATH, write_bench_json
 
 
 def main() -> None:
-    only = sys.argv[1:] or None
-    print(to_text(run_all(only=only)))
+    argv = list(sys.argv[1:])
+    bench_path = None
+    for arg in list(argv):
+        if arg == "--bench-explore":
+            bench_path = DEFAULT_PATH
+            argv.remove(arg)
+        elif arg.startswith("--bench-explore="):
+            bench_path = arg.split("=", 1)[1] or DEFAULT_PATH
+            argv.remove(arg)
+    if bench_path is None or argv:
+        only = argv or None
+        print(to_text(run_all(only=only)))
+    if bench_path is not None:
+        report = write_bench_json(bench_path)
+        protocols = report["protocols"]
+        print(f"wrote {bench_path}")
+        for key, row in protocols.items():
+            print(
+                f"  {key:18s} {row['states']:7d} states  "
+                f"engine {row['engine_states_per_sec']:10.0f}/s  "
+                f"reference {row['reference_states_per_sec']:9.0f}/s  "
+                f"speedup {row['speedup']:.2f}x"
+            )
+        print(f"  median speedup: {report['median_speedup']:.2f}x")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from .report import Table, run_all, to_markdown, to_text
 from .model_check import (
     ModelCheckResult,
     ScriptedEnvironment,
+    build_closed_system,
     verify_delivery_order,
 )
 from .header_growth import (
@@ -37,6 +38,7 @@ __all__ = [
     "to_text",
     "render_msc",
     "abp_mapping",
+    "build_closed_system",
     "verify_abp_refinement",
     "verify_delivery_order",
     "verify_refinement",

@@ -144,26 +144,20 @@ class ModelCheckResult:
         return self.counterexample is None
 
 
-def verify_delivery_order(
+def build_closed_system(
     protocol: DataLinkProtocol,
     messages: int = 2,
     capacity: int = 2,
     reorder_depth: int = 1,
-    max_states: int = 400_000,
-) -> ModelCheckResult:
-    """Exhaustively verify in-order, exactly-once delivery.
+    memoize: bool = True,
+):
+    """The closed system used for exhaustive verification.
 
-    Explores every reachable state of the closed system (protocol +
-    bounded nondeterministic lossy channels + scripted environment) and
-    checks that the environment's recorded delivery sequence is always
-    a prefix of its submission sequence (safety only; liveness is the
-    fair executors' business).
-
-    ``reorder_depth > 1`` additionally lets the channels deliver out of
-    order up to that displacement, mapping a protocol's exact
-    reordering tolerance (cf. the paper's footnote 1): e.g. the
-    alternating bit protocol is verified at depth 1 but yields a
-    duplicate-delivery counterexample at depth 2.
+    Returns ``(composition, invariant, batch)``: the protocol composed
+    with two bounded nondeterministic lossy channels and the scripted
+    environment, plus the delivery-prefix invariant over its states.
+    Shared by :func:`verify_delivery_order` and the exploration-engine
+    benchmark emitter (:mod:`repro.ioa.engine.bench`).
     """
     t, r = "t", "r"
     factory = MessageFactory(label="v")
@@ -182,6 +176,7 @@ def verify_delivery_order(
             ScriptedEnvironment(t, r, batch),
         ],
         name=f"mc({protocol.name})",
+        memoize=memoize,
     )
     env_index = 4
 
@@ -189,11 +184,47 @@ def verify_delivery_order(
         delivered = state[env_index].delivered
         return delivered == batch[: len(delivered)]
 
+    return composition, invariant, batch
+
+
+def verify_delivery_order(
+    protocol: DataLinkProtocol,
+    messages: int = 2,
+    capacity: int = 2,
+    reorder_depth: int = 1,
+    max_states: int = 400_000,
+    workers: Optional[int] = None,
+) -> ModelCheckResult:
+    """Exhaustively verify in-order, exactly-once delivery.
+
+    Explores every reachable state of the closed system (protocol +
+    bounded nondeterministic lossy channels + scripted environment) and
+    checks that the environment's recorded delivery sequence is always
+    a prefix of its submission sequence (safety only; liveness is the
+    fair executors' business).
+
+    ``reorder_depth > 1`` additionally lets the channels deliver out of
+    order up to that displacement, mapping a protocol's exact
+    reordering tolerance (cf. the paper's footnote 1): e.g. the
+    alternating bit protocol is verified at depth 1 but yields a
+    duplicate-delivery counterexample at depth 2.
+
+    ``workers > 1`` shards each BFS layer across a process pool (see
+    :func:`repro.ioa.explorer.explore`); the result is identical to a
+    serial run.
+    """
+    composition, invariant, _ = build_closed_system(
+        protocol,
+        messages=messages,
+        capacity=capacity,
+        reorder_depth=reorder_depth,
+    )
     result: ExplorationResult = explore(
         composition,
         invariant=invariant,
         max_states=max_states,
         max_depth=10_000_000,
+        workers=workers,
     )
     counterexample = (
         None if result.violation is None else result.violation[1]

@@ -19,7 +19,12 @@ from .execution import (
     project_schedule,
     replay_schedule,
 )
-from .explorer import ExplorationResult, explore, reachable_states
+from .explorer import (
+    ExplorationResult,
+    explore,
+    explore_reference,
+    reachable_states,
+)
 from .fairness import (
     FairnessTimeout,
     apply_inputs,
@@ -71,6 +76,7 @@ __all__ = [
     "compose_signatures",
     "directed",
     "explore",
+    "explore_reference",
     "external_of",
     "fair_extension",
     "hide",

@@ -12,7 +12,7 @@ execution of the composition projects to an execution of each component).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .actions import Action
 from .automaton import Automaton, State
@@ -32,7 +32,15 @@ class Composition(Automaton):
     order the components were given.
     """
 
-    def __init__(self, components: Sequence[Automaton], name: str = "composition"):
+    #: sentinel marking a component name shared by several components
+    _AMBIGUOUS = -1
+
+    def __init__(
+        self,
+        components: Sequence[Automaton],
+        name: str = "composition",
+        memoize: bool = False,
+    ):
         components = list(components)
         if not strongly_compatible(c.signature for c in components):
             raise SignatureError(
@@ -48,6 +56,41 @@ class Composition(Automaton):
         for i, component in enumerate(self._components):
             for family in component.signature.all_families:
                 self._family_owners.setdefault(family, []).append(i)
+        # Name -> index lookup table (with_component_state is hit inside
+        # the impossibility engines' surgery loops, so the per-call linear
+        # scan became measurable).  Duplicated names map to _AMBIGUOUS so
+        # lookups still fail loudly.
+        self._index_by_name: Dict[str, int] = {}
+        for i, component in enumerate(self._components):
+            if component.name in self._index_by_name:
+                self._index_by_name[component.name] = self._AMBIGUOUS
+            else:
+                self._index_by_name[component.name] = i
+        # Family -> owning-component index for locally-controlled actions.
+        # Strong compatibility makes the owner unique (outputs belong to
+        # one signature; internals are private), so task_of is a dict hit
+        # instead of a linear signature scan.
+        self._local_owner: Dict[Tuple, int] = {}
+        for i, component in enumerate(self._components):
+            for family in component.signature.local:
+                self._local_owner[family] = i
+        # Memoization for composition stepping (see transitions /
+        # enabled_local_actions): per-component successor choices keyed on
+        # (component index, component state, action), and per-component
+        # enabled local actions keyed on (component index, component
+        # state).  Components are pure functions of their state, so the
+        # caches are sound; they are bounded by the explored state space.
+        # Opt-in (``memoize=True``) because it pays off only on workloads
+        # that revisit component slices -- exhaustive exploration and
+        # refinement checking -- and costs hashing and memory on
+        # simulation-style workloads whose uid-stamped states rarely
+        # repeat.
+        self._step_cache: Optional[
+            Dict[Tuple[int, State, Action], Tuple[State, ...]]
+        ] = {} if memoize else None
+        self._enabled_cache: Optional[
+            Dict[Tuple[int, State], Tuple[Action, ...]]
+        ] = {} if memoize else None
 
     # ------------------------------------------------------------------
     # Component access
@@ -57,17 +100,25 @@ class Composition(Automaton):
     def components(self) -> Tuple[Automaton, ...]:
         return self._components
 
+    @property
+    def family_owners(self) -> Dict[Tuple, List[int]]:
+        """Action family key -> indices of components with that family.
+
+        Exposed for the exploration engine, which drives the component
+        cross-product itself over interned states.
+        """
+        return self._family_owners
+
     def component_index(self, name: str) -> int:
         """Index of the (unique) component with the given name."""
-        matches = [
-            i for i, c in enumerate(self._components) if c.name == name
-        ]
-        if len(matches) != 1:
+        index = self._index_by_name.get(name)
+        if index is None or index == self._AMBIGUOUS:
+            found = sum(1 for c in self._components if c.name == name)
             raise KeyError(
                 f"expected exactly one component named {name!r}, "
-                f"found {len(matches)}"
+                f"found {found}"
             )
-        return matches[0]
+        return index
 
     def component_state(self, state: State, name: str) -> State:
         """The slice of the composed ``state`` belonging to component ``name``."""
@@ -97,6 +148,51 @@ class Composition(Automaton):
     def initial_state(self) -> State:
         return tuple(c.initial_state() for c in self._components)
 
+    def component_transitions(
+        self, index: int, component_state: State, action: Action
+    ) -> Tuple[State, ...]:
+        """Memoized ``components[index].transitions(component_state, action)``.
+
+        The cross-product in :meth:`transitions` asks every owning
+        component for its choices on every step; during exhaustive
+        exploration the same (component state, action) pair recurs across
+        thousands of composed states (most steps change only 1-2 of the
+        slices), so the answers are cached here.
+        """
+        if self._step_cache is None:
+            return self._components[index].transitions(
+                component_state, action
+            )
+        key = (index, component_state, action)
+        cached = self._step_cache.get(key)
+        if cached is None:
+            cached = self._components[index].transitions(
+                component_state, action
+            )
+            self._step_cache[key] = cached
+        return cached
+
+    def component_enabled_local_actions(
+        self, index: int, component_state: State
+    ) -> Tuple[Action, ...]:
+        """Memoized enabled-local-action list of one component slice."""
+        if self._enabled_cache is None:
+            return tuple(
+                self._components[index].enabled_local_actions(
+                    component_state
+                )
+            )
+        key = (index, component_state)
+        cached = self._enabled_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                self._components[index].enabled_local_actions(
+                    component_state
+                )
+            )
+            self._enabled_cache[key] = cached
+        return cached
+
     def transitions(self, state: State, action: Action) -> Tuple[State, ...]:
         owners = self._family_owners.get(action.key)
         if not owners:
@@ -104,7 +200,7 @@ class Composition(Automaton):
         # Every owning component must be able to take the step.
         per_component_choices: List[Tuple[State, ...]] = []
         for i in owners:
-            choices = self._components[i].transitions(state[i], action)
+            choices = self.component_transitions(i, state[i], action)
             if not choices:
                 return ()
             per_component_choices.append(choices)
@@ -117,18 +213,27 @@ class Composition(Automaton):
         return tuple(results)
 
     def enabled_local_actions(self, state: State) -> Iterable[Action]:
-        for i, component in enumerate(self._components):
-            for action in component.enabled_local_actions(state[i]):
-                # An action locally controlled by one component may be an
-                # input of others; it is enabled in the composition since
-                # inputs are always enabled.
-                yield action
+        # An action locally controlled by one component may be an input
+        # of others; it is enabled in the composition since inputs are
+        # always enabled.
+        if self._enabled_cache is None:
+            # Stay lazy: callers like is_quiescent stop at the first
+            # action, so nothing should be materialized up front.
+            for i, component in enumerate(self._components):
+                yield from component.enabled_local_actions(state[i])
+        else:
+            for i in range(len(self._components)):
+                yield from self.component_enabled_local_actions(
+                    i, state[i]
+                )
 
     def task_of(self, action: Action) -> Hashable:
-        for i, component in enumerate(self._components):
-            if component.signature.is_local(action):
-                return (i, component.task_of(action))
-        raise KeyError(f"{action} is not locally controlled by any component")
+        owner = self._local_owner.get(action.key)
+        if owner is None:
+            raise KeyError(
+                f"{action} is not locally controlled by any component"
+            )
+        return (owner, self._components[owner].task_of(action))
 
     def tasks(self) -> Iterable[Hashable]:
         for i, component in enumerate(self._components):

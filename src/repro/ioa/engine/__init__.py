@@ -1,0 +1,24 @@
+"""High-throughput exploration engine (see :mod:`.core`).
+
+The engine is the backend of :func:`repro.ioa.explorer.explore`; the
+pieces are exposed here for direct use and benchmarking:
+
+* :mod:`.core` -- serial trace-free BFS with state interning and
+  memoized composition stepping;
+* :mod:`.parallel` -- layer-sharded multiprocessing frontier mode;
+* :mod:`.interning` -- the dense-id intern table;
+* :mod:`.bench` -- the states/sec benchmark emitter behind
+  ``bench/BENCH_explore.json``.
+"""
+
+from .core import ExplorationResult, explore_engine
+from .interning import InternTable
+from .parallel import PARALLEL_THRESHOLD, explore_parallel
+
+__all__ = [
+    "ExplorationResult",
+    "InternTable",
+    "PARALLEL_THRESHOLD",
+    "explore_engine",
+    "explore_parallel",
+]

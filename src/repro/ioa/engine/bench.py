@@ -1,0 +1,166 @@
+"""States/sec benchmark emitter for the exploration engine.
+
+Times the exploration-engine backend against the reference naive BFS on
+the exhaustive-verification closed systems of the protocol zoo and
+writes the results to ``bench/BENCH_explore.json`` so the perf
+trajectory is tracked from PR to PR.  Run via::
+
+    python benchmarks/run_experiments.py --bench-explore
+
+or programmatically through :func:`write_bench_json`.
+
+Analysis-layer imports happen inside the functions: this module lives
+under :mod:`repro.ioa` and must not import :mod:`repro.analysis` at
+module load (the analysis layer imports the ioa layer).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from statistics import median
+from typing import Dict, Iterable, Optional, Tuple
+
+DEFAULT_PATH = os.path.join("bench", "BENCH_explore.json")
+
+#: (protocol key, factory-name, messages, capacity, reorder_depth)
+DEFAULT_CASES: Tuple[Tuple[str, str, int, int, int], ...] = (
+    ("abp", "alternating_bit_protocol", 2, 2, 1),
+    ("sliding-window-2", "sliding_window_protocol:2", 2, 2, 1),
+    ("stenning", "stenning_protocol", 2, 2, 1),
+    ("fragmenting", "fragmenting_protocol:1,2", 2, 2, 1),
+    ("abp-reorder-2", "alternating_bit_protocol", 2, 3, 2),
+)
+
+
+def _protocol_factory(spec: str):
+    """Resolve a ``name`` / ``name:args`` spec to a protocol factory."""
+    from repro import protocols as zoo
+
+    if ":" not in spec:
+        return getattr(zoo, spec)
+    name, raw_args = spec.split(":", 1)
+    args = tuple(int(piece) for piece in raw_args.split(","))
+    factory = getattr(zoo, name)
+    return lambda: factory(*args)
+
+
+def _time_explore(explore_fn, build_system, repeats: int):
+    """Median wall-clock over ``repeats`` runs; returns (seconds, result).
+
+    ``build_system`` returns a fresh (composition, invariant) pair per
+    repeat, matching the real workload (``verify_delivery_order``
+    constructs a fresh closed system per call), so neither explorer is
+    flattered by caches warmed on a previous repeat.
+    """
+    timings = []
+    result = None
+    for _ in range(repeats):
+        composition, invariant = build_system()
+        started = time.perf_counter()
+        result = explore_fn(
+            composition, invariant=invariant, max_depth=10_000_000
+        )
+        timings.append(time.perf_counter() - started)
+    return median(timings), result
+
+
+def run_bench(
+    cases: Iterable[Tuple[str, str, int, int, int]] = DEFAULT_CASES,
+    repeats: int = 3,
+    workers: Optional[int] = None,
+) -> Dict:
+    """Benchmark engine vs. reference BFS on each closed system.
+
+    Every case is cross-checked while it is timed: the engine and the
+    reference must agree on the reachable-state set and the
+    ``truncated`` flag, so a benchmark run is also a differential test.
+    """
+    from repro.analysis.model_check import build_closed_system
+    from repro.ioa.explorer import explore, explore_reference
+
+    report: Dict = {
+        "generated_by": "repro.ioa.engine.bench",
+        "repeats": repeats,
+        "workers": workers,
+        "protocols": {},
+    }
+    speedups = []
+    for key, spec, messages, capacity, reorder_depth in cases:
+
+        def build_system(spec=spec, memoize=True):
+            # The reference baseline is timed in the seed configuration
+            # (no composition memoization): it stands in for the
+            # pre-engine explorer, and memoization is part of what this
+            # benchmark measures.
+            composition, invariant, _ = build_closed_system(
+                _protocol_factory(spec)(),
+                messages=messages,
+                capacity=capacity,
+                reorder_depth=reorder_depth,
+                memoize=memoize,
+            )
+            return composition, invariant
+
+        def engine_fn(composition, invariant, max_depth):
+            return explore(
+                composition,
+                invariant=invariant,
+                max_depth=max_depth,
+                workers=workers,
+            )
+
+        engine_seconds, engine_result = _time_explore(
+            engine_fn, build_system, repeats
+        )
+        reference_seconds, reference_result = _time_explore(
+            explore_reference,
+            lambda: build_system(memoize=False),
+            repeats,
+        )
+        if engine_result.states != reference_result.states:
+            raise AssertionError(
+                f"{key}: engine and reference disagree on the "
+                "reachable-state set"
+            )
+        if engine_result.truncated != reference_result.truncated:
+            raise AssertionError(
+                f"{key}: engine and reference disagree on truncation"
+            )
+        states = len(engine_result.states)
+        speedup = reference_seconds / engine_seconds
+        speedups.append(speedup)
+        report["protocols"][key] = {
+            "messages": messages,
+            "capacity": capacity,
+            "reorder_depth": reorder_depth,
+            "states": states,
+            "ok": engine_result.ok,
+            "engine_seconds": round(engine_seconds, 6),
+            "engine_states_per_sec": round(states / engine_seconds, 1),
+            "reference_seconds": round(reference_seconds, 6),
+            "reference_states_per_sec": round(
+                states / reference_seconds, 1
+            ),
+            "speedup": round(speedup, 2),
+        }
+    report["median_speedup"] = round(median(speedups), 2)
+    return report
+
+
+def write_bench_json(
+    path: str = DEFAULT_PATH,
+    cases: Iterable[Tuple[str, str, int, int, int]] = DEFAULT_CASES,
+    repeats: int = 3,
+    workers: Optional[int] = None,
+) -> Dict:
+    """Run the benchmark and write the JSON report to ``path``."""
+    report = run_bench(cases=cases, repeats=repeats, workers=workers)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

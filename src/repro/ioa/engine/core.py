@@ -1,0 +1,392 @@
+"""High-throughput bounded BFS over I/O automata.
+
+This is the serial heart of the exploration engine behind
+:func:`repro.ioa.explorer.explore`.  It returns exactly what the naive
+breadth-first explorer returns -- the same reachable-state set, the
+same ``truncated`` flag, and a shortest (layer-minimal) counterexample
+-- but restructures the search around three ideas:
+
+* **Trace-free frontiers.**  The naive explorer carries the full
+  ``(action, ...)`` trace tuple in every frontier entry, an O(depth)
+  copy per enqueued state that dominates allocation on deep runs.  The
+  engine instead records a parent-pointer map ``state -> (predecessor,
+  action)`` (one dict slot per state) and reconstructs the
+  counterexample by walking the pointers only when a violation is
+  actually found.
+
+* **State interning.**  For compositions, every component slice is
+  assigned a dense integer id (:class:`.interning.InternTable`) and the
+  search runs over *encoded* states -- tuples of ints -- so ``seen``
+  probes hash machine integers instead of nested dataclasses.  The
+  decode tables double as the canonical-state store: decoded tuples
+  share slice objects, giving identity fast paths to any later
+  equality check.
+
+* **Memoized stepping.**  Per-slot caches map (slice id, action token)
+  to successor slice ids and slice id to the slice's enabled local
+  actions, so the cross-product step never re-asks a component about a
+  slice value it has already answered for.  Most steps touch 1-2 of
+  the components; every other slice's answers come from the caches.
+
+Budget semantics (documented contract): when the ``max_states`` budget
+is hit the search stops *immediately* -- it breaks out of both the
+successor and the frontier loops -- rather than grinding through the
+remaining successors of the current layer.  Every state counted in
+``states`` was invariant-checked when it was first reached, including
+the queued-but-unexpanded frontier tail, so a truncated ``ok`` result
+still certifies every reported state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..actions import Action
+from ..automaton import Automaton, State
+from ..composition import Composition
+from .interning import InternTable
+
+Environment = Optional[Callable[[State], Iterable[Action]]]
+Invariant = Optional[Callable[[State], bool]]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a bounded exploration.
+
+    ``states`` is the set of distinct reachable states visited;
+    ``truncated`` is True when the state or depth budget was exhausted
+    before the frontier emptied; ``violation`` carries the first
+    invariant violation found, as a (state, trace) pair.
+    """
+
+    states: Set[State]
+    truncated: bool
+    violation: Optional[Tuple[State, Tuple[Action, ...]]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+def explore_engine(
+    automaton: Automaton,
+    environment: Environment = None,
+    invariant: Invariant = None,
+    max_states: int = 50_000,
+    max_depth: int = 10_000,
+) -> ExplorationResult:
+    """Serial engine entry point (see module docstring).
+
+    Compositions take the interned fast path; any other automaton gets
+    the generic trace-free BFS.
+    """
+    if isinstance(automaton, Composition):
+        return _CompositionSearch(automaton).run(
+            environment, invariant, max_states, max_depth
+        )
+    return _explore_generic(
+        automaton, environment, invariant, max_states, max_depth
+    )
+
+
+# ----------------------------------------------------------------------
+# Generic trace-free BFS (any automaton)
+# ----------------------------------------------------------------------
+
+
+def _reconstruct(parents: Dict, state) -> Tuple[Action, ...]:
+    """Walk parent pointers back to the start, returning the action trace."""
+    actions: List[Action] = []
+    cursor = state
+    while True:
+        entry = parents[cursor]
+        if entry is None:
+            break
+        cursor, action = entry
+        actions.append(action)
+    actions.reverse()
+    return tuple(actions)
+
+
+def _explore_generic(
+    automaton: Automaton,
+    environment: Environment,
+    invariant: Invariant,
+    max_states: int,
+    max_depth: int,
+) -> ExplorationResult:
+    start = automaton.initial_state()
+    if invariant is not None and not invariant(start):
+        return ExplorationResult({start}, False, (start, ()))
+    # parents doubles as the seen set: state -> (predecessor, action),
+    # None for the start state.
+    parents: Dict[State, Optional[Tuple[State, Action]]] = {start: None}
+    layer: List[State] = [start]
+    depth = 0
+    truncated = False
+    transitions = automaton.transitions
+    enabled = automaton.enabled_local_actions
+    while layer:
+        if depth >= max_depth:
+            truncated = True
+            break
+        next_layer: List[State] = []
+        for state in layer:
+            actions: List[Action] = list(enabled(state))
+            if environment is not None:
+                actions.extend(environment(state))
+            for action in actions:
+                for successor in transitions(state, action):
+                    if successor in parents:
+                        continue
+                    parents[successor] = (state, action)
+                    if invariant is not None and not invariant(successor):
+                        return ExplorationResult(
+                            set(parents),
+                            truncated,
+                            (successor, _reconstruct(parents, successor)),
+                        )
+                    if len(parents) > max_states:
+                        # Budget spent: stop the whole search at once
+                        # (see module docstring for the contract).
+                        del parents[successor]
+                        truncated = True
+                        break
+                    next_layer.append(successor)
+                if truncated:
+                    break
+            if truncated:
+                break
+        if truncated:
+            break
+        layer = next_layer
+        depth += 1
+    return ExplorationResult(set(parents), truncated)
+
+
+# ----------------------------------------------------------------------
+# Interned fast path for compositions
+# ----------------------------------------------------------------------
+
+
+class _CompositionSearch:
+    """BFS over interned (encoded) states of a :class:`Composition`.
+
+    Encoded states are tuples of per-slot slice ids.  Actions are
+    interned to integer *tokens*; per-slot caches map ``sid`` to the
+    slice's enabled (token, owners) pairs and ``(sid, token)`` to the
+    successor slice ids, so a slice value is only ever stepped once per
+    action no matter how many composed states contain it.
+    """
+
+    def __init__(self, composition: Composition):
+        self.composition = composition
+        self.components = composition.components
+        self.n = len(self.components)
+        self.family_owners = composition.family_owners
+        # Per-slot slice interning and caches, indexed by slice id.
+        self.slice_tables: List[InternTable] = [
+            InternTable() for _ in range(self.n)
+        ]
+        # sid -> tuple[(token, owners)] of enabled local actions (lazy).
+        self.enabled_by_sid: List[List[Optional[Tuple]]] = [
+            [] for _ in range(self.n)
+        ]
+        # sid -> {token: tuple[successor sid, ...]} (lazy per token).
+        self.steps_by_sid: List[List[Dict[int, Tuple[int, ...]]]] = [
+            [] for _ in range(self.n)
+        ]
+        # Action interning: token ids are dense.
+        self.token_of_action: Dict[Action, int] = {}
+        self.action_of_token: List[Action] = []
+        self.owners_of_token: List[Tuple[int, ...]] = []
+
+    # -- interning ------------------------------------------------------
+
+    def _intern_slice(self, slot: int, slice_state: State) -> int:
+        sid = self.slice_tables[slot].intern(slice_state)
+        if sid == len(self.enabled_by_sid[slot]):
+            self.enabled_by_sid[slot].append(None)
+            self.steps_by_sid[slot].append({})
+        return sid
+
+    def _token(self, action: Action) -> int:
+        token = self.token_of_action.get(action)
+        if token is None:
+            token = len(self.action_of_token)
+            self.token_of_action[action] = token
+            self.action_of_token.append(action)
+            self.owners_of_token.append(
+                tuple(self.family_owners.get(action.key, ()))
+            )
+        return token
+
+    def encode(self, state: State) -> Tuple[int, ...]:
+        return tuple(
+            self._intern_slice(slot, slice_state)
+            for slot, slice_state in enumerate(state)
+        )
+
+    def decode(self, encoded: Tuple[int, ...]) -> State:
+        return tuple(
+            table.values[sid]
+            for table, sid in zip(self.slice_tables, encoded)
+        )
+
+    # -- cached component queries --------------------------------------
+
+    def _enabled_pairs(self, slot: int, sid: int) -> Tuple:
+        pairs = self.enabled_by_sid[slot][sid]
+        if pairs is None:
+            slice_state = self.slice_tables[slot].values[sid]
+            fresh: List[Tuple[int, Tuple[int, ...]]] = []
+            for action in self.components[slot].enabled_local_actions(
+                slice_state
+            ):
+                token = self._token(action)
+                fresh.append((token, self.owners_of_token[token]))
+            pairs = tuple(fresh)
+            self.enabled_by_sid[slot][sid] = pairs
+        return pairs
+
+    def _successor_sids(
+        self, slot: int, sid: int, token: int
+    ) -> Tuple[int, ...]:
+        steps = self.steps_by_sid[slot][sid]
+        successors = steps.get(token)
+        if successors is None:
+            slice_state = self.slice_tables[slot].values[sid]
+            raw = self.components[slot].transitions(
+                slice_state, self.action_of_token[token]
+            )
+            successors = tuple(
+                self._intern_slice(slot, post) for post in raw
+            )
+            steps[token] = successors
+        return successors
+
+    # -- expansion ------------------------------------------------------
+
+    def expand(
+        self, encoded: Tuple[int, ...], extra_actions: Iterable[Action]
+    ) -> Iterable[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(action token, successor encoded state)`` in the same
+        deterministic order the naive explorer visits successors."""
+        pairs: List[Tuple[int, Tuple[int, ...]]] = []
+        for slot in range(self.n):
+            pairs.extend(self._enabled_pairs(slot, encoded[slot]))
+        for action in extra_actions:
+            token = self._token(action)
+            pairs.append((token, self.owners_of_token[token]))
+        for token, owners in pairs:
+            if not owners:
+                continue
+            if len(owners) == 1:
+                slot = owners[0]
+                for sid in self._successor_sids(slot, encoded[slot], token):
+                    yield token, encoded[:slot] + (sid,) + encoded[slot + 1 :]
+                continue
+            per_owner: List[Tuple[int, ...]] = []
+            enabled_everywhere = True
+            for slot in owners:
+                successors = self._successor_sids(
+                    slot, encoded[slot], token
+                )
+                if not successors:
+                    enabled_everywhere = False
+                    break
+                per_owner.append(successors)
+            if not enabled_everywhere:
+                continue
+            for combo in product(*per_owner):
+                successor = list(encoded)
+                for position, slot in enumerate(owners):
+                    successor[slot] = combo[position]
+                yield token, tuple(successor)
+
+    # -- search ---------------------------------------------------------
+
+    def run(
+        self,
+        environment: Environment,
+        invariant: Invariant,
+        max_states: int,
+        max_depth: int,
+    ) -> ExplorationResult:
+        start = self.composition.initial_state()
+        if invariant is not None and not invariant(start):
+            return ExplorationResult({start}, False, (start, ()))
+        start_enc = self.encode(start)
+        # Encoded parent pointers: enc -> (predecessor enc, action token).
+        parents: Dict[Tuple[int, ...], Optional[Tuple]] = {start_enc: None}
+        layer: List[Tuple[int, ...]] = [start_enc]
+        depth = 0
+        truncated = False
+        decode = self.decode
+        expand = self.expand
+        while layer:
+            if depth >= max_depth:
+                truncated = True
+                break
+            next_layer: List[Tuple[int, ...]] = []
+            for encoded in layer:
+                extra = (
+                    environment(decode(encoded))
+                    if environment is not None
+                    else ()
+                )
+                for token, succ_enc in expand(encoded, extra):
+                    if succ_enc in parents:
+                        continue
+                    parents[succ_enc] = (encoded, token)
+                    if invariant is not None:
+                        real = decode(succ_enc)
+                        if not invariant(real):
+                            return ExplorationResult(
+                                self._decode_all(parents),
+                                truncated,
+                                (real, self._trace(parents, succ_enc)),
+                            )
+                    if len(parents) > max_states:
+                        # Budget spent: break out of every loop at once
+                        # (module docstring documents the contract).
+                        del parents[succ_enc]
+                        truncated = True
+                        break
+                    next_layer.append(succ_enc)
+                if truncated:
+                    break
+            if truncated:
+                break
+            layer = next_layer
+            depth += 1
+        return ExplorationResult(self._decode_all(parents), truncated)
+
+    def _trace(
+        self, parents: Dict, encoded: Tuple[int, ...]
+    ) -> Tuple[Action, ...]:
+        actions: List[Action] = []
+        cursor = encoded
+        while True:
+            entry = parents[cursor]
+            if entry is None:
+                break
+            cursor, token = entry
+            actions.append(self.action_of_token[token])
+        actions.reverse()
+        return tuple(actions)
+
+    def _decode_all(self, parents: Dict) -> Set[State]:
+        decode = self.decode
+        return {decode(encoded) for encoded in parents}

@@ -1,0 +1,53 @@
+"""State and action interning for the exploration engine.
+
+Composed states are tuples of component slices; during exhaustive
+exploration the same slice values recur across thousands of composed
+states (a step changes only the 1-2 slices that own its action).  The
+engine therefore assigns every distinct slice value a small integer id
+and works over *encoded* states -- tuples of ints -- whose hashing and
+equality are an order of magnitude cheaper than re-hashing nested
+dataclass states on every ``seen``-set probe.
+
+The table also serves as the canonical-state store: the id -> value
+list keeps exactly one object per distinct value, so decoded composed
+tuples share their slice objects and equality checks between them hit
+CPython's per-element identity fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+
+class InternTable:
+    """Assigns dense integer ids to hashable values, first-come order.
+
+    ``intern`` is the only mutator; ``values[id]`` decodes.  Ids are
+    dense (0, 1, 2, ...), so per-id side tables can be plain lists that
+    callers extend whenever ``len(table)`` grows.
+    """
+
+    __slots__ = ("_ids", "values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self.values: List[Any] = []
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, assigning a fresh one on first sight."""
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self.values)
+            self._ids[value] = ident
+            self.values.append(value)
+        return ident
+
+    def get(self, value: Hashable):
+        """The id of ``value`` or ``None`` if it was never interned."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids

@@ -1,0 +1,140 @@
+"""Parallel layer expansion for the exploration engine.
+
+Each BFS layer is embarrassingly parallel: expanding one state touches
+only that state, so a layer can be sharded across a ``multiprocessing``
+pool and the per-layer results merged by the parent.  The merge is a
+barrier -- layer ``d+1`` is not started until layer ``d`` is fully
+merged -- so BFS layer structure, and with it counterexample
+minimality (shortest-by-layers), is preserved exactly.
+
+Determinism: workers return successor edges in the order the serial
+engine would visit them, chunks are merged in layer order, and the
+parent alone applies the seen-set / invariant / budget logic in that
+order.  The result is therefore identical to a serial run.
+
+Workers are forked (the automaton, environment closure and caches are
+inherited by the child processes; nothing needs to pickle except the
+states and actions flowing through the pool).  Small layers are
+expanded in-process -- forking pays off only once a layer is wide
+enough to amortize the serialization -- and if no ``fork`` start
+method is available the search silently degrades to serial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..actions import Action
+from ..automaton import Automaton, State
+from .core import (
+    Environment,
+    ExplorationResult,
+    Invariant,
+    _reconstruct,
+)
+
+#: below this layer width, expansion stays in-process
+PARALLEL_THRESHOLD = 128
+
+# Worker-side globals, installed by the fork initializer.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(automaton: Automaton, environment: Environment) -> None:
+    _WORKER["automaton"] = automaton
+    _WORKER["environment"] = environment
+
+
+def _expand_one(state: State) -> List[Tuple[Action, State]]:
+    """All (action, successor) edges of one state, in serial-visit order."""
+    automaton: Automaton = _WORKER["automaton"]  # type: ignore[assignment]
+    environment: Environment = _WORKER["environment"]  # type: ignore[assignment]
+    return _edges(automaton, environment, state)
+
+
+def _edges(
+    automaton: Automaton, environment: Environment, state: State
+) -> List[Tuple[Action, State]]:
+    actions: List[Action] = list(automaton.enabled_local_actions(state))
+    if environment is not None:
+        actions.extend(environment(state))
+    edges: List[Tuple[Action, State]] = []
+    for action in actions:
+        for successor in automaton.transitions(state, action):
+            edges.append((action, successor))
+    return edges
+
+
+def explore_parallel(
+    automaton: Automaton,
+    environment: Environment = None,
+    invariant: Invariant = None,
+    max_states: int = 50_000,
+    max_depth: int = 10_000,
+    workers: int = 2,
+    parallel_threshold: int = PARALLEL_THRESHOLD,
+) -> ExplorationResult:
+    """Layer-sharded BFS; results identical to the serial engine."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = None
+    start = automaton.initial_state()
+    if invariant is not None and not invariant(start):
+        return ExplorationResult({start}, False, (start, ()))
+    parents: Dict[State, Optional[Tuple[State, Action]]] = {start: None}
+    layer: List[State] = [start]
+    depth = 0
+    truncated = False
+    pool = None
+    try:
+        if context is not None:
+            try:
+                pool = context.Pool(
+                    workers,
+                    initializer=_init_worker,
+                    initargs=(automaton, environment),
+                )
+            except OSError:  # pragma: no cover - fork denied
+                pool = None
+        while layer:
+            if depth >= max_depth:
+                truncated = True
+                break
+            if pool is not None and len(layer) >= parallel_threshold:
+                chunksize = max(1, len(layer) // (workers * 4))
+                edge_lists = pool.map(_expand_one, layer, chunksize)
+            else:
+                edge_lists = (
+                    _edges(automaton, environment, state) for state in layer
+                )
+            next_layer: List[State] = []
+            for state, edges in zip(layer, edge_lists):
+                for action, successor in edges:
+                    if successor in parents:
+                        continue
+                    parents[successor] = (state, action)
+                    if invariant is not None and not invariant(successor):
+                        return ExplorationResult(
+                            set(parents),
+                            truncated,
+                            (successor, _reconstruct(parents, successor)),
+                        )
+                    if len(parents) > max_states:
+                        del parents[successor]
+                        truncated = True
+                        break
+                    next_layer.append(successor)
+                if truncated:
+                    break
+            if truncated:
+                break
+            layer = next_layer
+            depth += 1
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    return ExplorationResult(set(parents), truncated)

@@ -5,43 +5,47 @@ reachable states of an automaton (or composition) under a bounded input
 environment.  This provides lightweight model checking of safety
 invariants -- e.g. "the alternating-bit protocol never delivers out of
 order over any FIFO-channel adversary with at most N in-flight packets".
+
+:func:`explore` is the public entry point; since the exploration-engine
+rewrite it delegates to :mod:`repro.ioa.engine`, which keeps trace-free
+parent-pointer frontiers, interns composed states, memoizes component
+stepping, and (with ``workers > 1``) shards each BFS layer across a
+process pool.  The original naive breadth-first search is preserved
+verbatim as :func:`explore_reference`: it is the differential-testing
+oracle the engine is validated against, and the ground truth for the
+result contract.
+
+Budget contract (both explorers): when the ``max_states`` budget is
+reached the search stops immediately -- no further successors of the
+current state or layer are expanded.  States that were queued but never
+expanded still had the invariant checked when they were first reached,
+so every state in ``ExplorationResult.states`` is certified even on a
+truncated run.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set
 
 from .actions import Action
 from .automaton import Automaton, State
+from .engine.core import ExplorationResult, explore_engine
 
-
-@dataclass
-class ExplorationResult:
-    """Outcome of a bounded exploration.
-
-    ``states`` is the set of distinct reachable states visited;
-    ``truncated`` is True when the state or depth budget was exhausted
-    before the frontier emptied; ``violation`` carries the first
-    invariant violation found, as a (state, trace) pair.
-    """
-
-    states: Set[State]
-    truncated: bool
-    violation: Optional[Tuple[State, Tuple[Action, ...]]] = None
-
-    @property
-    def ok(self) -> bool:
-        return self.violation is None
+__all__ = [
+    "ExplorationResult",
+    "explore",
+    "explore_reference",
+    "reachable_states",
+]
 
 
 def explore(
     automaton: Automaton,
-    environment: Callable[[State], Iterable[Action]] = lambda _: (),
+    environment: Optional[Callable[[State], Iterable[Action]]] = None,
     invariant: Optional[Callable[[State], bool]] = None,
     max_states: int = 50_000,
     max_depth: int = 10_000,
+    workers: Optional[int] = None,
 ) -> ExplorationResult:
     """Breadth-first exploration of reachable states.
 
@@ -49,10 +53,53 @@ def explore(
     actions plus whatever input actions the ``environment`` callback
     offers for that state.  ``invariant`` (if given) is checked at every
     reachable state; the first violating state and its action trace are
-    reported.
+    reported (the trace is layer-minimal: BFS finds a shortest
+    counterexample by action count).
 
     Nondeterministic transitions are followed exhaustively.
+
+    ``workers > 1`` shards each BFS layer across a forked process pool
+    (falling back to serial for narrow layers and on platforms without
+    ``fork``).  The per-layer merge is a barrier, so the reachable set,
+    the ``truncated`` flag and counterexample minimality are identical
+    to a serial run.
     """
+    if workers is not None and workers > 1:
+        from .engine.parallel import explore_parallel
+
+        return explore_parallel(
+            automaton,
+            environment=environment,
+            invariant=invariant,
+            max_states=max_states,
+            max_depth=max_depth,
+            workers=workers,
+        )
+    return explore_engine(
+        automaton,
+        environment=environment,
+        invariant=invariant,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+
+
+def explore_reference(
+    automaton: Automaton,
+    environment: Callable[[State], Iterable[Action]] = lambda _: (),
+    invariant: Optional[Callable[[State], bool]] = None,
+    max_states: int = 50_000,
+    max_depth: int = 10_000,
+) -> ExplorationResult:
+    """The original naive BFS, kept as the differential-testing oracle.
+
+    Carries the full action trace in every frontier entry (O(depth)
+    memory per state) and re-derives every component step; the engine
+    behind :func:`explore` must return exactly this reachable-state
+    set, ``truncated`` flag, and an equally short counterexample.
+    """
+    from collections import deque
+
     start = automaton.initial_state()
     if invariant is not None and not invariant(start):
         return ExplorationResult({start}, False, (start, ()))
@@ -61,11 +108,6 @@ def explore(
     frontier = deque([(start, (), 0)])
     truncated = False
     while frontier:
-        if truncated:
-            # The state budget is spent: every queued state was already
-            # invariant-checked when enqueued, so stop expanding rather
-            # than grind through an arbitrarily large frontier.
-            break
         state, trace, depth = frontier.popleft()
         if depth >= max_depth:
             truncated = True
@@ -83,8 +125,11 @@ def explore(
                         seen, truncated, (successor, new_trace)
                     )
                 if len(seen) >= max_states:
-                    truncated = True
-                    continue
+                    # Budget spent: stop at once instead of grinding
+                    # through the remaining successors and frontier
+                    # (every queued state was already invariant-checked
+                    # when it was enqueued).
+                    return ExplorationResult(seen, True)
                 seen.add(successor)
                 frontier.append((successor, new_trace, depth + 1))
     return ExplorationResult(seen, truncated)
@@ -92,10 +137,14 @@ def explore(
 
 def reachable_states(
     automaton: Automaton,
-    environment: Callable[[State], Iterable[Action]] = lambda _: (),
+    environment: Optional[Callable[[State], Iterable[Action]]] = None,
     max_states: int = 50_000,
+    workers: Optional[int] = None,
 ) -> Set[State]:
     """The set of states reachable under the given environment."""
     return explore(
-        automaton, environment=environment, max_states=max_states
+        automaton,
+        environment=environment,
+        max_states=max_states,
+        workers=workers,
     ).states

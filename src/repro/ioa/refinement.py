@@ -27,12 +27,12 @@ counterpart of the harness' sampled ``DL`` conformance.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .actions import Action
 from .automaton import Automaton, State
+from .engine.core import _reconstruct
 
 
 @dataclass
@@ -63,6 +63,13 @@ def check_refinement(
     the two refinement conditions at every step.  Specification actions
     are those in ``specification.signature``; all other implementation
     actions must stutter.
+
+    The walk is trace-free: instead of carrying an O(depth) action
+    trace per frontier entry, a parent-pointer map records one
+    (predecessor, action) pair per state and the failing trace is
+    reconstructed only when a condition is actually violated.  The
+    composition's memoized component stepping makes the per-step
+    transition queries cache hits.
     """
     start = implementation.initial_state()
     if mapping(start) != specification.initial_state():
@@ -75,52 +82,60 @@ def check_refinement(
                 f"specification start {specification.initial_state()!r}"
             ),
         )
-    seen: Set[State] = {start}
-    frontier = deque([(start, ())])
+    # parents doubles as the seen set: state -> (predecessor, action),
+    # None for the start state.
+    parents: Dict[State, Optional[Tuple[State, Action]]] = {start: None}
+    frontier: List[State] = [start]
     truncated = False
+
+    def failing_trace(state: State, action: Action) -> Tuple[Action, ...]:
+        return _reconstruct(parents, state) + (action,)
+
     while frontier:
-        state, trace = frontier.popleft()
-        abstract = mapping(state)
-        actions: List[Action] = list(
-            implementation.enabled_local_actions(state)
-        )
-        actions.extend(environment(state))
-        for action in actions:
-            for successor in implementation.transitions(state, action):
-                new_trace = trace + (action,)
-                new_abstract = mapping(successor)
-                if specification.signature.contains(action):
-                    if new_abstract not in specification.transitions(
-                        abstract, action
-                    ):
+        next_frontier: List[State] = []
+        for state in frontier:
+            abstract = mapping(state)
+            actions: List[Action] = list(
+                implementation.enabled_local_actions(state)
+            )
+            actions.extend(environment(state))
+            for action in actions:
+                spec_action = specification.signature.contains(action)
+                for successor in implementation.transitions(state, action):
+                    new_abstract = mapping(successor)
+                    if spec_action:
+                        if new_abstract not in specification.transitions(
+                            abstract, action
+                        ):
+                            return RefinementResult(
+                                False,
+                                len(parents),
+                                not truncated,
+                                failure=(
+                                    f"step {action} maps {abstract!r} to "
+                                    f"{new_abstract!r}, which is not a "
+                                    "specification step"
+                                ),
+                                failing_trace=failing_trace(state, action),
+                            )
+                    elif new_abstract != abstract:
                         return RefinementResult(
                             False,
-                            len(seen),
+                            len(parents),
                             not truncated,
                             failure=(
-                                f"step {action} maps {abstract!r} to "
-                                f"{new_abstract!r}, which is not a "
-                                "specification step"
+                                f"non-specification step {action} failed "
+                                f"to stutter: {abstract!r} became "
+                                f"{new_abstract!r}"
                             ),
-                            failing_trace=new_trace,
+                            failing_trace=failing_trace(state, action),
                         )
-                elif new_abstract != abstract:
-                    return RefinementResult(
-                        False,
-                        len(seen),
-                        not truncated,
-                        failure=(
-                            f"non-specification step {action} failed to "
-                            f"stutter: {abstract!r} became "
-                            f"{new_abstract!r}"
-                        ),
-                        failing_trace=new_trace,
-                    )
-                if successor in seen:
-                    continue
-                if len(seen) >= max_states:
-                    truncated = True
-                    continue
-                seen.add(successor)
-                frontier.append((successor, new_trace))
-    return RefinementResult(True, len(seen), not truncated)
+                    if successor in parents:
+                        continue
+                    if len(parents) >= max_states:
+                        truncated = True
+                        continue
+                    parents[successor] = (state, action)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return RefinementResult(True, len(parents), not truncated)

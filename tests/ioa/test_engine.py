@@ -1,0 +1,301 @@
+"""Differential tests: the exploration engine vs. the naive reference BFS.
+
+The engine behind :func:`repro.ioa.explore` (trace-free parent-pointer
+frontiers, state interning, memoized composition stepping, optional
+parallel layers) must be observationally identical to the original
+naive breadth-first search, kept as :func:`repro.ioa.explore_reference`:
+same reachable-state set, same ``truncated`` flag, and a counterexample
+of the same (layer-minimal) length that actually replays on the
+automaton.  These tests check that across the toy automata and the
+protocol zoo's closed systems, including the reordering-boundary
+counterexample cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa import Composition, explore, explore_reference
+from repro.ioa.engine import InternTable, explore_parallel
+from repro.analysis.model_check import build_closed_system
+from repro.protocols import (
+    alternating_bit_protocol,
+    direct_protocol,
+    eager_protocol,
+    fragmenting_protocol,
+    modulo_stenning_protocol,
+    sliding_window_protocol,
+    stenning_protocol,
+)
+
+from .toys import Counter, Echo, Forwarder, Nondet, ping
+
+
+def assert_equivalent(automaton_factory, reference_factory=None, **kwargs):
+    """Run both explorers and compare the full result contract.
+
+    Factories (not shared instances) keep the two runs honest: neither
+    explorer sees caches warmed by the other.  Returns (engine result,
+    reference result) for extra assertions.
+    """
+    reference_factory = reference_factory or automaton_factory
+    engine = explore(automaton_factory(), **kwargs)
+    kwargs.pop("workers", None)
+    reference = explore_reference(reference_factory(), **kwargs)
+    assert engine.states == reference.states
+    assert engine.truncated == reference.truncated
+    assert (engine.violation is None) == (reference.violation is None)
+    if engine.violation is not None:
+        engine_state, engine_trace = engine.violation
+        reference_state, reference_trace = reference.violation
+        # BFS layer structure forces equal (minimal) counterexample
+        # lengths; the violating state may differ only if several
+        # violations share a layer.
+        assert len(engine_trace) == len(reference_trace)
+        assert_trace_reaches(automaton_factory(), engine_trace, engine_state)
+    return engine, reference
+
+
+def assert_trace_reaches(automaton, trace, target):
+    """The trace must be executable and able to end in ``target``."""
+    states = {automaton.initial_state()}
+    for action in trace:
+        states = {
+            successor
+            for state in states
+            for successor in automaton.transitions(state, action)
+        }
+        assert states, f"action {action} not enabled anywhere along trace"
+    assert target in states
+
+
+class TestToyDifferential:
+    def test_counter(self):
+        assert_equivalent(lambda: Counter(25))
+
+    def test_counter_violation(self):
+        engine, _ = assert_equivalent(
+            lambda: Counter(10), invariant=lambda s: s != 3
+        )
+        assert engine.violation[0] == 3
+        assert len(engine.violation[1]) == 7
+
+    def test_violation_at_start(self):
+        engine, _ = assert_equivalent(
+            lambda: Counter(5), invariant=lambda s: s != 5
+        )
+        assert engine.violation == (5, ())
+
+    def test_nondet(self):
+        assert_equivalent(Nondet)
+
+    def test_echo_with_environment(self):
+        environment = lambda s: [ping(len(s))] if len(s) < 4 else []
+        assert_equivalent(Echo, environment=environment)
+
+    def test_toy_composition(self):
+        factory = lambda: Composition([Echo(), Forwarder()])
+        environment = lambda s: [ping(len(s[0]))] if len(s[0]) < 3 else []
+        engine, _ = assert_equivalent(factory, environment=environment)
+        assert ((), ()) in engine.states
+
+    def test_toy_composition_memoized(self):
+        factory = lambda: Composition([Echo(), Forwarder()], memoize=True)
+        environment = lambda s: [ping(len(s[0]))] if len(s[0]) < 3 else []
+        assert_equivalent(factory, environment=environment)
+
+    def test_max_states_truncation(self):
+        engine, reference = assert_equivalent(
+            lambda: Counter(100), max_states=10
+        )
+        assert engine.truncated
+        # Budget contract: the search stops at the budget, immediately.
+        assert len(engine.states) == 10
+
+    def test_max_depth_truncation(self):
+        engine, _ = assert_equivalent(lambda: Counter(100), max_depth=5)
+        assert engine.truncated
+        assert engine.states == {100, 99, 98, 97, 96, 95}
+
+
+ZOO = {
+    "abp": (alternating_bit_protocol, 1),
+    "sliding-window-2": (lambda: sliding_window_protocol(2), 1),
+    "stenning": (stenning_protocol, 1),
+    "fragmenting": (lambda: fragmenting_protocol(chunk=1, max_fragments=2), 1),
+    "eager": (eager_protocol, 1),
+    "direct": (direct_protocol, 1),
+    "abp-reorder-2": (alternating_bit_protocol, 2),
+    "mod4-reorder-2": (lambda: modulo_stenning_protocol(4), 2),
+}
+
+
+class TestZooDifferential:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_closed_system_equivalence(self, name):
+        protocol_factory, reorder_depth = ZOO[name]
+
+        def build(memoize):
+            composition, invariant, _ = build_closed_system(
+                protocol_factory(),
+                messages=2,
+                capacity=2,
+                reorder_depth=reorder_depth,
+                memoize=memoize,
+            )
+            return composition, invariant
+
+        composition, invariant = build(memoize=False)
+        engine = explore(
+            composition, invariant=invariant, max_depth=10_000_000
+        )
+        ref_composition, ref_invariant = build(memoize=False)
+        reference = explore_reference(
+            ref_composition, invariant=ref_invariant, max_depth=10_000_000
+        )
+        assert engine.states == reference.states
+        assert engine.truncated == reference.truncated
+        assert (engine.violation is None) == (reference.violation is None)
+        if engine.violation is not None:
+            state, trace = engine.violation
+            assert len(trace) == len(reference.violation[1])
+            replay_composition, _ = build(memoize=False)
+            assert_trace_reaches(replay_composition, trace, state)
+
+    def test_budget_truncation_equivalence(self):
+        def build():
+            composition, invariant, _ = build_closed_system(
+                sliding_window_protocol(2), messages=2, capacity=2
+            )
+            return composition, invariant
+
+        composition, invariant = build()
+        engine = explore(composition, invariant=invariant, max_states=500)
+        ref_composition, ref_invariant = build()
+        reference = explore_reference(
+            ref_composition, invariant=ref_invariant, max_states=500
+        )
+        assert engine.truncated and reference.truncated
+        assert len(engine.states) == 500
+        assert engine.states == reference.states
+
+
+class TestParallelFrontier:
+    """workers=N shards layers but must stay observationally serial."""
+
+    def test_parallel_equivalence(self):
+        composition, invariant, _ = build_closed_system(
+            sliding_window_protocol(2), messages=2, capacity=2
+        )
+        serial = explore(
+            composition, invariant=invariant, max_depth=10_000_000
+        )
+        par_composition, par_invariant, _ = build_closed_system(
+            sliding_window_protocol(2), messages=2, capacity=2
+        )
+        parallel = explore(
+            par_composition,
+            invariant=par_invariant,
+            max_depth=10_000_000,
+            workers=2,
+        )
+        assert parallel.states == serial.states
+        assert parallel.truncated == serial.truncated
+        assert parallel.violation is None and serial.violation is None
+
+    def test_parallel_counterexample_minimality(self):
+        composition, invariant, _ = build_closed_system(
+            eager_protocol(), messages=2, capacity=2
+        )
+        serial = explore(
+            composition, invariant=invariant, max_depth=10_000_000
+        )
+        par_composition, par_invariant, _ = build_closed_system(
+            eager_protocol(), messages=2, capacity=2
+        )
+        parallel = explore(
+            par_composition,
+            invariant=par_invariant,
+            max_depth=10_000_000,
+            workers=2,
+        )
+        assert serial.violation is not None
+        assert parallel.violation is not None
+        # Layer-merge barrier preserves BFS-shortest counterexamples.
+        assert len(parallel.violation[1]) == len(serial.violation[1])
+
+    def test_small_frontiers_fall_back_to_serial(self):
+        # Forcing the threshold to 0 exercises the pool path even on a
+        # tiny space; a huge threshold exercises the in-process path.
+        result_pooled = explore_parallel(
+            Counter(20), workers=2, parallel_threshold=0
+        )
+        result_serial = explore_parallel(
+            Counter(20), workers=2, parallel_threshold=10_000
+        )
+        assert result_pooled.states == result_serial.states == set(range(21))
+
+
+class TestCompositionCaches:
+    """The satellite caches: name->index, task_of owners, memoization."""
+
+    def test_component_index_lookup(self):
+        composition = Composition([Echo(), Forwarder()])
+        assert composition.component_index("echo") == 0
+        assert composition.component_index("forwarder") == 1
+        with pytest.raises(KeyError, match="found 0"):
+            composition.component_index("missing")
+
+    def test_component_index_duplicate_names(self):
+        first, second = Counter(3, tag="a"), Counter(3, tag="b")
+        first.name = second.name = "twin"
+        composition = Composition([first, second])
+        with pytest.raises(KeyError, match="found 2"):
+            composition.component_index("twin")
+
+    def test_task_of_owner_map(self):
+        from repro.ioa.actions import Action
+
+        composition = Composition([Echo(), Forwarder()])
+        assert composition.task_of(Action("pong", None, 1)) == (
+            0,
+            ("echo", "main"),
+        )
+        assert composition.task_of(Action("ack", None, 1)) == (
+            1,
+            ("forwarder", "main"),
+        )
+        with pytest.raises(KeyError):
+            composition.task_of(Action("ping", None, 1))
+
+    def test_memoized_stepping_matches_uncached(self):
+        plain = Composition([Echo(), Forwarder()])
+        cached = Composition([Echo(), Forwarder()], memoize=True)
+        state = ((1, 2), (7,))
+        from repro.ioa.actions import Action
+
+        for action in [
+            Action("pong", None, 1),
+            Action("pong", None, 9),
+            Action("ack", None, 7),
+            Action("ping", None, 3),
+        ]:
+            for _ in range(2):  # second round hits the caches
+                assert cached.transitions(state, action) == plain.transitions(
+                    state, action
+                )
+                assert tuple(cached.enabled_local_actions(state)) == tuple(
+                    plain.enabled_local_actions(state)
+                )
+
+
+class TestInternTable:
+    def test_dense_first_come_ids(self):
+        table = InternTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+        assert table.values == ["a", "b"]
+        assert len(table) == 2
+        assert "a" in table and "c" not in table
+        assert table.get("c") is None
