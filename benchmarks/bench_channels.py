@@ -9,11 +9,9 @@ Lemmas 6.3-6.7.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.alphabets import Packet
 from repro.channels import (
-    DeliverySet,
     PermissiveChannel,
     PermissiveFifoChannel,
     random_reordering,

@@ -28,8 +28,8 @@ Packets are structured as ``(header, body)``:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True, order=True)

@@ -16,7 +16,7 @@ and true Stenning (``N = infinity``) never fails.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..alphabets import MessageFactory
 from ..channels.scripted import reordering_channel

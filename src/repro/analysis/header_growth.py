@@ -15,13 +15,12 @@ experiment E4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..alphabets import MessageFactory
-from ..channels.permissive import PermissiveChannel
 from ..datalink.protocol import DataLinkProtocol
 from ..sim.metrics import channel_stats
-from ..sim.network import DataLinkSystem, fifo_system, permissive_system
+from ..sim.network import fifo_system, permissive_system
 
 
 @dataclass

@@ -31,13 +31,7 @@ from ..ioa.composition import Composition
 from ..ioa.explorer import ExplorationResult, explore
 from ..ioa.signature import ActionSignature
 from ..channels.nondet import NondetLossyFifoChannel
-from ..datalink.actions import (
-    RECEIVE_MSG,
-    SEND_MSG,
-    data_link_signature,
-    receive_msg,
-    send_msg,
-)
+from ..datalink.actions import RECEIVE_MSG, SEND_MSG, send_msg
 from ..channels.actions import WAKE, wake
 from ..datalink.protocol import DataLinkProtocol
 from ..ioa.actions import action_family

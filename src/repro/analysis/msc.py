@@ -21,7 +21,7 @@ Example output::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..alphabets import Packet
 from ..ioa.actions import Action

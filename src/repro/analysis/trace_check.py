@@ -9,7 +9,7 @@ produced by simulations and by the impossibility engines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..ioa.actions import Action
 from ..ioa.schedule_module import PropertyResult

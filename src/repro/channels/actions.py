@@ -10,7 +10,7 @@ receives a single notification stream.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Tuple
 
 from ..alphabets import Packet
 from ..ioa.actions import Action, action_family, directed

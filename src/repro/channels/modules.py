@@ -10,9 +10,7 @@ solving ``PL-FIFO``.
 from __future__ import annotations
 
 from functools import partial
-from typing import Sequence
 
-from ..ioa.actions import Action
 from ..ioa.schedule_module import ScheduleModule
 from .actions import physical_layer_signature
 from .properties import pl1, pl2, pl3, pl4, pl5, pl6, pl_well_formed

@@ -23,7 +23,7 @@ from typing import Hashable, Iterable, Optional, Tuple
 
 from ..alphabets import Packet
 from ..ioa.actions import Action, action_family, directed
-from ..ioa.automaton import Automaton, State
+from ..ioa.automaton import Automaton
 from ..ioa.signature import ActionSignature
 from .actions import (
     CRASH,

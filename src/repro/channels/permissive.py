@@ -28,7 +28,7 @@ from typing import Hashable, Iterable, Optional, Sequence, Tuple
 
 from ..alphabets import Packet
 from ..ioa.actions import Action
-from ..ioa.automaton import Automaton, State
+from ..ioa.automaton import Automaton
 from ..ioa.signature import ActionSignature
 from .actions import (
     CRASH,

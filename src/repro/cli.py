@@ -22,6 +22,9 @@ Commands
     Run the experiment suite (E1...) and print/write the result tables.
 ``growth PROTOCOL``
     Measure distinct-header growth (the Section 9 contrast).
+``lint [PROTOCOL ...]``
+    Static model audit of the protocol zoo (or the given protocols)
+    with ruff-style diagnostics; exits non-zero on findings.
 
 Protocols are named as in ``list``; parameterized families take an
 argument after a colon, e.g. ``sliding-window:4``, ``mod-stenning:8``,
@@ -34,7 +37,6 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
-from .alphabets import MessageFactory
 from .analysis import check_datalink_trace, measure_header_growth
 from .channels import lossy_fifo_channel, reordering_channel
 from .datalink import (
@@ -261,6 +263,68 @@ def cmd_growth(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .lint import RULES, lint_targets, target_from, zoo_targets
+
+    if args.list_codes:
+        for rule in RULES.values():
+            print(
+                f"{rule.code}  {rule.severity:7s} {rule.name:32s} "
+                f"paper {rule.paper:10s} {rule.summary}"
+            )
+        return 0
+
+    if args.module:
+        import importlib
+
+        module = importlib.import_module(args.module)
+        try:
+            raw_targets = module.LINT_TARGETS
+        except AttributeError:
+            raise SystemExit(
+                f"module {args.module!r} defines no LINT_TARGETS"
+            )
+        environment = getattr(module, "ENVIRONMENT", None)
+        targets = [
+            target_from(obj, environment=environment)
+            for obj in raw_targets
+        ]
+    elif args.protocols:
+        targets = [
+            target_from(resolve_protocol(spec), name=spec)
+            for spec in args.protocols
+        ]
+    else:
+        targets = zoo_targets()
+
+    report = lint_targets(
+        targets,
+        messages=args.messages,
+        max_states=args.max_states,
+    )
+    if args.select:
+        report = report.select(args.select)
+
+    rendered = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.format == "json"
+        else report.render_text()
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        summary = report.summary()
+        print(
+            f"wrote {args.output}: {summary['findings']} finding(s) "
+            f"across {summary['targets']} target(s)"
+        )
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -362,6 +426,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 4, 8, 16, 32],
     )
     growth.set_defaults(run=cmd_growth)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static model audit with ruff-style diagnostics",
+    )
+    lint.add_argument(
+        "protocols",
+        nargs="*",
+        help="protocol specs to lint (default: the whole zoo)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    lint.add_argument("--output", help="write the report to a file")
+    lint.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        help="only report matching codes (prefix match, e.g. REP2)",
+    )
+    lint.add_argument(
+        "--module",
+        help="import lint targets from a module's LINT_TARGETS",
+    )
+    lint.add_argument(
+        "--max-states",
+        type=int,
+        default=2000,
+        help="state budget for the bounded semantic sweep",
+    )
+    lint.add_argument(
+        "--messages",
+        type=int,
+        default=2,
+        help="probe messages offered during exploration",
+    )
+    lint.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    lint.set_defaults(run=cmd_lint)
 
     return parser
 

@@ -15,7 +15,7 @@ fail loudly if a crash step does not reset the core.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import Set
 
 from ..alphabets import MessageFactory
 from ..channels.actions import crash

@@ -26,8 +26,8 @@ provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 from ..alphabets import (
     Message,

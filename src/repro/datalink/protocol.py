@@ -38,7 +38,7 @@ from typing import Any, Callable, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 from ..alphabets import Message, Packet
 from ..ioa.actions import Action, action_family
-from ..ioa.automaton import Automaton, State
+from ..ioa.automaton import Automaton
 from ..ioa.signature import ActionSignature
 from ..channels.actions import (
     CRASH,

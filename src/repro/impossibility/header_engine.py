@@ -44,7 +44,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alphabets import Message, MessageFactory, Packet
 from ..ioa.actions import Action
-from ..ioa.execution import ExecutionFragment
 from ..ioa.fairness import FairnessTimeout
 from ..channels.actions import RECEIVE_PKT, SEND_PKT, receive_pkt
 from ..datalink.actions import RECEIVE_MSG, SEND_MSG
@@ -54,7 +53,6 @@ from ..datalink.protocol import DataLinkProtocol
 from ..sim.network import DataLinkSystem, permissive_system
 from .certificates import (
     DUPLICATE_DELIVERY,
-    LIVENESS,
     UNSENT_DELIVERY,
     EngineError,
     ViolationCertificate,

@@ -21,6 +21,7 @@ from .execution import (
 )
 from .explorer import (
     ExplorationResult,
+    InputEnablednessError,
     explore,
     explore_reference,
     reachable_states,
@@ -45,6 +46,7 @@ from .signature import (
     ActionSignature,
     FamilyKey,
     SignatureError,
+    compatibility_conflicts,
     compose_signatures,
     strongly_compatible,
 )
@@ -60,6 +62,7 @@ __all__ = [
     "FairnessTimeout",
     "FamilyKey",
     "Hidden",
+    "InputEnablednessError",
     "ModuleVerdict",
     "PatchError",
     "RefinementResult",
@@ -73,6 +76,7 @@ __all__ = [
     "apply_inputs",
     "check_refinement",
     "check_solves_on",
+    "compatibility_conflicts",
     "compose_signatures",
     "directed",
     "explore",

@@ -20,8 +20,8 @@ from .execution import ExecutionFragment
 from .signature import (
     ActionSignature,
     SignatureError,
+    compatibility_conflicts,
     compose_signatures,
-    strongly_compatible,
 )
 
 
@@ -42,9 +42,18 @@ class Composition(Automaton):
         memoize: bool = False,
     ):
         components = list(components)
-        if not strongly_compatible(c.signature for c in components):
+        conflicts = compatibility_conflicts(
+            [c.signature for c in components],
+            names=[repr(c.name) for c in components],
+        )
+        if conflicts:
             raise SignatureError(
-                "component automata are not strongly compatible"
+                "component automata are not strongly compatible: "
+                + "; ".join(
+                    f"{family!r} is {role}" for family, role in conflicts
+                ),
+                kind="compatibility",
+                conflicts=conflicts,
             )
         self.name = name
         self._components: Tuple[Automaton, ...] = tuple(components)

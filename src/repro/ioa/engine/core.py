@@ -60,6 +60,26 @@ Environment = Optional[Callable[[State], Iterable[Action]]]
 Invariant = Optional[Callable[[State], bool]]
 
 
+class InputEnablednessError(RuntimeError):
+    """An environment-offered input action was not enabled (Section 2.2).
+
+    Raised only in ``validate=True`` debug runs: input-enabledness demands
+    that every input action be enabled in every state, so an exploration
+    that offers an input with no transition has found a broken automaton
+    (this is :meth:`~repro.ioa.automaton.Automaton.check_input_enabled`
+    wired into the engine's expansion loop).
+    """
+
+    def __init__(self, automaton: Automaton, state: State, action: Action):
+        super().__init__(
+            f"{automaton.name}: input action {action} is not enabled in "
+            f"reachable state {state!r} (automaton is not input-enabled)"
+        )
+        self.automaton = automaton
+        self.state = state
+        self.action = action
+
+
 @dataclass
 class ExplorationResult:
     """Outcome of a bounded exploration.
@@ -85,18 +105,21 @@ def explore_engine(
     invariant: Invariant = None,
     max_states: int = 50_000,
     max_depth: int = 10_000,
+    validate: bool = False,
 ) -> ExplorationResult:
     """Serial engine entry point (see module docstring).
 
     Compositions take the interned fast path; any other automaton gets
-    the generic trace-free BFS.
+    the generic trace-free BFS.  ``validate=True`` additionally checks,
+    at every expanded state, that each environment-offered input action
+    is enabled, raising :class:`InputEnablednessError` otherwise.
     """
     if isinstance(automaton, Composition):
         return _CompositionSearch(automaton).run(
-            environment, invariant, max_states, max_depth
+            environment, invariant, max_states, max_depth, validate
         )
     return _explore_generic(
-        automaton, environment, invariant, max_states, max_depth
+        automaton, environment, invariant, max_states, max_depth, validate
     )
 
 
@@ -125,8 +148,10 @@ def _explore_generic(
     invariant: Invariant,
     max_states: int,
     max_depth: int,
+    validate: bool = False,
 ) -> ExplorationResult:
     start = automaton.initial_state()
+    signature = automaton.signature if validate else None
     if invariant is not None and not invariant(start):
         return ExplorationResult({start}, False, (start, ()))
     # parents doubles as the seen set: state -> (predecessor, action),
@@ -145,7 +170,16 @@ def _explore_generic(
         for state in layer:
             actions: List[Action] = list(enabled(state))
             if environment is not None:
-                actions.extend(environment(state))
+                offered = list(environment(state))
+                if signature is not None:
+                    for action in offered:
+                        if signature.is_input(action) and not transitions(
+                            state, action
+                        ):
+                            raise InputEnablednessError(
+                                automaton, state, action
+                            )
+                actions.extend(offered)
             for action in actions:
                 for successor in transitions(state, action):
                     if successor in parents:
@@ -323,7 +357,9 @@ class _CompositionSearch:
         invariant: Invariant,
         max_states: int,
         max_depth: int,
+        validate: bool = False,
     ) -> ExplorationResult:
+        signature = self.composition.signature if validate else None
         start = self.composition.initial_state()
         if invariant is not None and not invariant(start):
             return ExplorationResult({start}, False, (start, ()))
@@ -341,11 +377,21 @@ class _CompositionSearch:
                 break
             next_layer: List[Tuple[int, ...]] = []
             for encoded in layer:
-                extra = (
-                    environment(decode(encoded))
-                    if environment is not None
-                    else ()
-                )
+                if environment is not None:
+                    current = decode(encoded)
+                    extra = list(environment(current))
+                    if signature is not None:
+                        for action in extra:
+                            if signature.is_input(
+                                action
+                            ) and not self.composition.transitions(
+                                current, action
+                            ):
+                                raise InputEnablednessError(
+                                    self.composition, current, action
+                                )
+                else:
+                    extra = ()
                 for token, succ_enc in expand(encoded, extra):
                     if succ_enc in parents:
                         continue

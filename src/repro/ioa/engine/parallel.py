@@ -22,7 +22,7 @@ method is available the search silently degrades to serial.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..actions import Action
 from ..automaton import Automaton, State

@@ -13,10 +13,10 @@ executor in :mod:`repro.ioa.fairness` provides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 from .actions import Action
-from .automaton import Automaton, State, TransitionError
+from .automaton import Automaton, State
 from .signature import ActionSignature
 
 Schedule = Tuple[Action, ...]

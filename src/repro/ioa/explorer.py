@@ -29,10 +29,15 @@ from typing import Callable, Iterable, List, Optional, Set
 
 from .actions import Action
 from .automaton import Automaton, State
-from .engine.core import ExplorationResult, explore_engine
+from .engine.core import (
+    ExplorationResult,
+    InputEnablednessError,
+    explore_engine,
+)
 
 __all__ = [
     "ExplorationResult",
+    "InputEnablednessError",
     "explore",
     "explore_reference",
     "reachable_states",
@@ -46,6 +51,7 @@ def explore(
     max_states: int = 50_000,
     max_depth: int = 10_000,
     workers: Optional[int] = None,
+    validate: bool = False,
 ) -> ExplorationResult:
     """Breadth-first exploration of reachable states.
 
@@ -63,7 +69,22 @@ def explore(
     ``fork``).  The per-layer merge is a barrier, so the reachable set,
     the ``truncated`` flag and counterexample minimality are identical
     to a serial run.
+
+    ``validate=True`` is a debug mode that checks input-enabledness at
+    every expanded state: if the environment offers an input action with
+    no transition, :class:`InputEnablednessError` is raised (this is
+    ``Automaton.check_input_enabled`` wired into the engine).  Validation
+    runs serially -- ``workers`` is ignored when it is on.
     """
+    if validate:
+        return explore_engine(
+            automaton,
+            environment=environment,
+            invariant=invariant,
+            max_states=max_states,
+            max_depth=max_depth,
+            validate=True,
+        )
     if workers is not None and workers > 1:
         from .engine.parallel import explore_parallel
 

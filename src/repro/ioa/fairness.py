@@ -17,11 +17,10 @@ engines convert into a liveness-violation verdict.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
 from .actions import Action
-from .automaton import Automaton, State, TransitionError
+from .automaton import Automaton, State
 from .execution import ExecutionFragment
 
 

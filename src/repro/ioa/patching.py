@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from .actions import Action
-from .automaton import State
 from .composition import Composition
 from .execution import ExecutionFragment
 

@@ -14,7 +14,7 @@ structured verdict when they do not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from .actions import Action

@@ -12,15 +12,46 @@ differently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .actions import Action, Direction
 
 FamilyKey = Tuple[str, Direction]
 
+#: A conflicting family key plus a human-readable description of the
+#: conflict, e.g. ``(("ping", ("a", "b")), "an output of both 'a' and 'b'")``.
+Conflict = Tuple[FamilyKey, str]
+
 
 class SignatureError(ValueError):
-    """Raised for ill-formed or incompatible signatures."""
+    """Raised for ill-formed or incompatible signatures.
+
+    ``kind`` distinguishes the failure modes so tooling (notably
+    ``repro lint``) can classify without parsing the message:
+
+    * ``"disjointness"`` -- the input/output/internal sets of a single
+      signature overlap (Section 2.1 well-formedness);
+    * ``"compatibility"`` -- a collection of signatures violates strong
+      compatibility (Section 2.5.1);
+    * ``"generic"`` -- anything else.
+
+    ``conflicts`` enumerates the offending ``(name, direction)`` family
+    keys, each paired with a description of its role in the conflict.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "generic",
+        conflicts: Iterable[Conflict] = (),
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.conflicts: Tuple[Conflict, ...] = tuple(conflicts)
+
+
+def _describe_conflicts(conflicts: Sequence[Conflict]) -> str:
+    return "; ".join(f"{family!r} is {role}" for family, role in conflicts)
 
 
 def _as_keys(families: Iterable[FamilyKey]) -> FrozenSet[FamilyKey]:
@@ -40,14 +71,19 @@ class ActionSignature:
     internals: FrozenSet[FamilyKey] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        if (
-            self.inputs & self.outputs
-            or self.inputs & self.internals
-            or self.outputs & self.internals
-        ):
+        conflicts: List[Conflict] = []
+        for family in sorted(self.inputs & self.outputs, key=repr):
+            conflicts.append((family, "both an input and an output"))
+        for family in sorted(self.inputs & self.internals, key=repr):
+            conflicts.append((family, "both an input and an internal"))
+        for family in sorted(self.outputs & self.internals, key=repr):
+            conflicts.append((family, "both an output and an internal"))
+        if conflicts:
             raise SignatureError(
                 "input, output and internal action sets must be pairwise "
-                "disjoint"
+                "disjoint: " + _describe_conflicts(conflicts),
+                kind="disjointness",
+                conflicts=conflicts,
             )
 
     # ------------------------------------------------------------------
@@ -174,6 +210,41 @@ def strongly_compatible(signatures: Iterable[ActionSignature]) -> bool:
     return True
 
 
+def compatibility_conflicts(
+    signatures: Iterable[ActionSignature],
+    names: Optional[Sequence[str]] = None,
+) -> List[Conflict]:
+    """Every strong-compatibility violation in the collection.
+
+    Returns one :data:`Conflict` per offending family key, naming the
+    components that own it (``names`` defaults to positional labels).
+    Empty iff :func:`strongly_compatible` holds.
+    """
+    sigs = list(signatures)
+    if names is None:
+        names = [f"component {i}" for i in range(len(sigs))]
+    conflicts: List[Conflict] = []
+    for i, si in enumerate(sigs):
+        for j in range(i + 1, len(sigs)):
+            for family in sorted(si.outputs & sigs[j].outputs, key=repr):
+                conflicts.append(
+                    (family, f"an output of both {names[i]} and {names[j]}")
+                )
+    for i, si in enumerate(sigs):
+        for j, sj in enumerate(sigs):
+            if i == j:
+                continue
+            for family in sorted(si.internals & sj.all_families, key=repr):
+                conflicts.append(
+                    (
+                        family,
+                        f"internal to {names[i]} but also an action of "
+                        f"{names[j]}",
+                    )
+                )
+    return conflicts
+
+
 def compose_signatures(signatures: Iterable[ActionSignature]) -> ActionSignature:
     """The composition ``S = prod_i S_i`` of strongly compatible signatures.
 
@@ -182,8 +253,14 @@ def compose_signatures(signatures: Iterable[ActionSignature]) -> ActionSignature
     outputs of no component.
     """
     sigs = list(signatures)
-    if not strongly_compatible(sigs):
-        raise SignatureError("signatures are not strongly compatible")
+    conflicts = compatibility_conflicts(sigs)
+    if conflicts:
+        raise SignatureError(
+            "signatures are not strongly compatible: "
+            + _describe_conflicts(conflicts),
+            kind="compatibility",
+            conflicts=conflicts,
+        )
     all_inputs: FrozenSet[FamilyKey] = frozenset().union(
         *(s.inputs for s in sigs)
     ) if sigs else frozenset()

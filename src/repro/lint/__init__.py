@@ -1,0 +1,54 @@
+"""``repro lint``: a static model-audit subsystem.
+
+Audits the repository's I/O automata and data-link protocols against
+the *structural hypotheses* of Lynch-Mansour-Fekete -- signature
+well-formedness and composition compatibility (§2.1/§2.5.1),
+input-enabledness and task-partition totality (§2.2), message
+independence (§5.3.1), the crashing property (§5.3.2/§7), and bounded
+headers (§8) -- with ruff-style diagnostics: stable codes, severities,
+``file:line`` locations, text and JSON output.  Exposed on the command
+line as ``python -m repro lint``.
+
+Rules live in :mod:`.semantic` (sweeps over a bounded explored state
+space) and :mod:`.source` (AST audits of protocol logic classes) and
+register themselves in :mod:`.registry`; importing this package loads
+both rule modules.
+"""
+
+from .diagnostics import Diagnostic, LintReport, REPORT_VERSION
+from .registry import RULES, LintRule, rules_for
+from .driver import (
+    LintTarget,
+    lint_one,
+    lint_targets,
+    target_from,
+    zoo_targets,
+)
+from .semantic import (
+    AutomatonModel,
+    ExploredModel,
+    build_automaton_model,
+    build_protocol_model,
+)
+from .source import SourceAudit, build_source_audits, class_sources
+
+__all__ = [
+    "AutomatonModel",
+    "Diagnostic",
+    "ExploredModel",
+    "LintReport",
+    "LintRule",
+    "LintTarget",
+    "REPORT_VERSION",
+    "RULES",
+    "SourceAudit",
+    "build_automaton_model",
+    "build_protocol_model",
+    "build_source_audits",
+    "class_sources",
+    "lint_one",
+    "lint_targets",
+    "rules_for",
+    "target_from",
+    "zoo_targets",
+]

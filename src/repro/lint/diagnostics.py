@@ -1,0 +1,129 @@
+"""Diagnostic objects and report rendering for ``repro lint``.
+
+Diagnostics are ruff-style: a stable code (``REP1xx`` for semantic
+audits on constructed objects, ``REP2xx`` for AST-based source audits),
+a severity, a ``file:line`` location, the lint target the finding
+belongs to, and the paper section whose hypothesis the rule checks.
+The JSON report schema is versioned (``version``) and consumed by the
+CI lint job; additions must be backward compatible.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Recognized severities, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+#: JSON report schema version (bump only on incompatible changes).
+REPORT_VERSION = 1
+
+
+def relative_path(path: str) -> str:
+    """Render ``path`` relative to the working directory when possible."""
+    try:
+        candidate = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        return path
+    return path if candidate.startswith("..") else candidate
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: ``file:line: CODE [target] message (paper section)``."""
+
+    code: str
+    severity: str
+    target: str
+    message: str
+    file: str
+    line: int
+    paper: str
+
+    @property
+    def location(self) -> str:
+        return f"{relative_path(self.file)}:{self.line}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location}: {self.code} [{self.target}] "
+            f"{self.message} (paper {self.paper})"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "target": self.target,
+            "message": self.message,
+            "file": relative_path(self.file),
+            "line": self.line,
+            "paper": self.paper,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run over a sequence of targets."""
+
+    diagnostics: List[Diagnostic]
+    targets: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def select(self, prefixes: Sequence[str]) -> "LintReport":
+        """Keep only diagnostics whose code matches a prefix (ruff-style)."""
+        kept = [
+            d
+            for d in self.diagnostics
+            if any(d.code.startswith(p) for p in prefixes)
+        ]
+        return LintReport(kept, list(self.targets))
+
+    def summary(self) -> Dict:
+        by_code: Dict[str, int] = {}
+        by_severity: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+            by_severity[diagnostic.severity] = (
+                by_severity.get(diagnostic.severity, 0) + 1
+            )
+        return {
+            "targets": len(self.targets),
+            "findings": len(self.diagnostics),
+            "by_code": dict(sorted(by_code.items())),
+            "by_severity": dict(sorted(by_severity.items())),
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": REPORT_VERSION,
+            "tool": "repro-lint",
+            "targets": list(self.targets),
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "summary": self.summary(),
+        }
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        summary = self.summary()
+        if self.diagnostics:
+            lines.append("")
+            counts = ", ".join(
+                f"{count} {code}"
+                for code, count in summary["by_code"].items()
+            )
+            lines.append(
+                f"{summary['findings']} finding(s) across "
+                f"{summary['targets']} target(s): {counts}"
+            )
+        else:
+            lines.append(
+                f"all clean: 0 findings across "
+                f"{summary['targets']} target(s)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""The lint driver: normalize targets, run rule families, build reports.
+
+A lint *target* is anything that can be audited:
+
+* a :class:`~repro.datalink.protocol.DataLinkProtocol` (the usual case;
+  gets the full semantic sweep plus the source audits),
+* a bare :class:`~repro.ioa.automaton.Automaton`, optionally with an
+  input environment (semantic sweep only), or
+* a zero-argument callable returning either of the above.  Factories
+  let build-time failures (REP101/REP102) be audited: the driver calls
+  the factory and converts a raised ``SignatureError`` into the
+  matching build-phase diagnostic instead of crashing.
+
+``zoo_targets`` wraps the CLI protocol registry so ``python -m repro
+lint`` audits the whole zoo by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..datalink.protocol import DataLinkProtocol
+from ..ioa.actions import Action
+from ..ioa.automaton import Automaton, State
+from ..ioa.signature import SignatureError
+from .diagnostics import Diagnostic, LintReport
+from .registry import LintRule, rules_for
+from .semantic import (
+    build_automaton_model,
+    build_protocol_model,
+    callable_location,
+    class_location,
+)
+from .source import build_source_audits
+
+Environment = Optional[Callable[[State], Iterable[Action]]]
+
+
+@dataclass
+class LintTarget:
+    """A named, lazily-built audit subject."""
+
+    name: str
+    build: Callable[[], object]
+    environment: Environment = None
+    file: str = "<unknown>"
+    line: int = 0
+
+
+def target_from(
+    obj: object,
+    name: Optional[str] = None,
+    environment: Environment = None,
+) -> LintTarget:
+    """Normalize a protocol / automaton / factory into a LintTarget."""
+    if isinstance(obj, LintTarget):
+        return obj
+    if isinstance(obj, DataLinkProtocol):
+        file, line = callable_location(obj.transmitter_factory)
+        return LintTarget(name or obj.name, lambda: obj, None, file, line)
+    if isinstance(obj, Automaton):
+        file, line = class_location(type(obj))
+        return LintTarget(
+            name or obj.name, lambda: obj, environment, file, line
+        )
+    if callable(obj):
+        file, line = callable_location(obj)
+        return LintTarget(
+            name or getattr(obj, "__name__", "target"),
+            obj,
+            environment,
+            file,
+            line,
+        )
+    raise TypeError(
+        f"cannot lint {obj!r}: expected a DataLinkProtocol, an "
+        f"Automaton, or a factory callable"
+    )
+
+
+def zoo_targets() -> List[LintTarget]:
+    """One target per protocol in the CLI registry (the protocol zoo)."""
+    from ..cli import REGISTRY  # lazy: the CLI imports are heavy
+
+    return [
+        target_from(REGISTRY[name](None), name=name)
+        for name in sorted(REGISTRY)
+    ]
+
+
+def _finish(rule: LintRule, target_name: str, raw: dict) -> Diagnostic:
+    return Diagnostic(
+        code=rule.code,
+        severity=rule.severity,
+        target=target_name,
+        message=raw["message"],
+        file=raw.get("file", "<unknown>"),
+        line=raw.get("line", 0),
+        paper=rule.paper,
+    )
+
+
+def lint_one(
+    target: LintTarget,
+    messages: int = 2,
+    max_states: int = 2000,
+    max_depth: int = 50,
+) -> List[Diagnostic]:
+    """All diagnostics for one target, in rule-registration order."""
+    try:
+        built = target.build()
+    except SignatureError as error:
+        return [
+            _finish(rule, target.name, raw)
+            for rule in rules_for("build")
+            for raw in rule.checker(target, error)
+        ]
+
+    if isinstance(built, DataLinkProtocol):
+        try:
+            model = build_protocol_model(
+                built,
+                messages=messages,
+                max_states=max_states,
+                max_depth=max_depth,
+            )
+        except SignatureError as error:
+            return [
+                _finish(rule, target.name, raw)
+                for rule in rules_for("build")
+                for raw in rule.checker(target, error)
+            ]
+        audits = build_source_audits(built)
+    elif isinstance(built, Automaton):
+        model = build_automaton_model(
+            built,
+            environment=target.environment,
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+        audits = []
+    else:
+        raise TypeError(
+            f"lint target {target.name!r} built {built!r}; expected a "
+            f"DataLinkProtocol or an Automaton"
+        )
+
+    diagnostics: List[Diagnostic] = []
+    for rule in rules_for("semantic"):
+        diagnostics.extend(
+            _finish(rule, target.name, raw) for raw in rule.checker(model)
+        )
+    for audit in audits:
+        for rule in rules_for("source"):
+            diagnostics.extend(
+                _finish(rule, target.name, raw)
+                for raw in rule.checker(audit)
+            )
+    return diagnostics
+
+
+def lint_targets(
+    targets: Iterable[object],
+    messages: int = 2,
+    max_states: int = 2000,
+    max_depth: int = 50,
+) -> LintReport:
+    """Lint every target and collect one report."""
+    normalized = [target_from(t) for t in targets]
+    diagnostics: List[Diagnostic] = []
+    for target in normalized:
+        diagnostics.extend(
+            lint_one(
+                target,
+                messages=messages,
+                max_states=max_states,
+                max_depth=max_depth,
+            )
+        )
+    return LintReport(diagnostics, [t.name for t in normalized])

@@ -1,0 +1,81 @@
+"""The lint-rule registry.
+
+Every rule registers itself with :func:`rule`, carrying a stable code, a
+kebab-case name, the paper section whose hypothesis it audits, and a
+checker callable.  The driver never enumerates rules by hand -- later
+PRs add rules by decorating a checker, without touching the driver.
+
+Rule families
+-------------
+
+``build``
+    Runs when constructing a lint target raises
+    :class:`~repro.ioa.signature.SignatureError`.  Checker signature:
+    ``checker(target, error) -> iterable of raw findings``.
+``semantic``
+    Runs on an :class:`~repro.lint.semantic.ExploredModel` built from a
+    successfully constructed target (bounded exploration via the PR-1
+    engine).  Checker signature: ``checker(model) -> ...``.
+``source``
+    AST audits of a protocol's logic classes.  Checker signature:
+    ``checker(audit) -> ...`` with a :class:`~repro.lint.source.SourceAudit`.
+
+Raw findings are dicts with ``message``, ``file`` and ``line`` keys; the
+driver completes them into :class:`~repro.lint.diagnostics.Diagnostic`
+objects using the rule's metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .diagnostics import SEVERITIES
+
+FAMILIES = ("build", "semantic", "source")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Metadata + checker for one lint code."""
+
+    code: str
+    name: str
+    paper: str
+    summary: str
+    family: str
+    severity: str
+    checker: Callable
+
+
+#: code -> rule, in registration (= code) order.
+RULES: Dict[str, LintRule] = {}
+
+
+def rule(
+    code: str,
+    name: str,
+    paper: str,
+    summary: str,
+    family: str,
+    severity: str = "error",
+) -> Callable:
+    """Class decorator registering a checker callable under ``code``."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown rule family {family!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def register(checker: Callable) -> Callable:
+        if code in RULES:
+            raise ValueError(f"duplicate lint code {code}")
+        RULES[code] = LintRule(
+            code, name, paper, summary, family, severity, checker
+        )
+        return checker
+
+    return register
+
+
+def rules_for(family: str) -> List[LintRule]:
+    return [r for r in RULES.values() if r.family == family]

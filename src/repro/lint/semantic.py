@@ -1,0 +1,472 @@
+"""Semantic audits: rules that run a constructed target (REP10x).
+
+The model builder explores a bounded state space with the exploration
+engine (:func:`repro.ioa.explorer.explore`) and, for data-link
+protocols, additionally harvests states from scripted fair executions
+over clean FIFO channels (the fair runs reach deep protocol states --
+handshakes completed, retransmissions acknowledged -- that a small BFS
+budget may not).  The rules then *sweep* the collected per-automaton
+state corpus:
+
+* REP103 checks input-enabledness over every (state, input) pair;
+* REP104 checks task-partition totality over every enabled local action;
+* REP105 flags locally-controlled action families never enabled
+  anywhere in the corpus;
+* REP106 reports nondeterministic transitions (informational).
+
+For protocol targets the swept inputs are the status notifications
+(``wake``/``fail``/``crash``), ``send_msg`` for the probe messages plus
+one fresh message, and ``receive_pkt`` for every packet the *peer* was
+observed offering to send -- the physical layer only delivers packets
+previously sent (PL1), so peer-sent packets are exactly the inputs a
+host must tolerate.  Channels are framework code and are not audited.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from ..alphabets import MessageFactory, Packet
+from ..channels.actions import SEND_PKT, crash, fail, receive_pkt, wake
+from ..channels.permissive import PermissiveFifoChannel
+from ..datalink.actions import send_msg
+from ..datalink.protocol import DataLinkProtocol
+from ..ioa.actions import Action
+from ..ioa.automaton import Automaton, State, TransitionError
+from ..ioa.explorer import explore
+from ..ioa.fairness import FairnessTimeout
+from .registry import rule
+
+
+def class_location(cls: type) -> Tuple[str, int]:
+    """Best-effort ``(file, line)`` of a class definition."""
+    try:
+        file = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+        return file, line
+    except (OSError, TypeError):
+        return "<unknown>", 0
+
+
+def callable_location(obj: Callable) -> Tuple[str, int]:
+    """Best-effort ``(file, line)`` of any callable (class or function)."""
+    if isinstance(obj, type):
+        return class_location(obj)
+    try:
+        file = inspect.getsourcefile(obj) or "<unknown>"
+        _, line = inspect.getsourcelines(obj)
+        return file, line
+    except (OSError, TypeError):
+        return "<unknown>", 0
+
+
+@dataclass
+class AutomatonModel:
+    """One audited automaton plus its explored state/input corpus."""
+
+    name: str
+    automaton: Automaton
+    file: str
+    line: int
+    states: Tuple[State, ...]
+    inputs: Tuple[Action, ...]
+    #: REP105 exemption: a host whose logic *declares* an empty header
+    #: space claims it never sends, so its send_pkt family being dead is
+    #: by design (convention also used by the engine-edge tests).
+    declares_no_sends: bool = False
+
+
+@dataclass
+class ExploredModel:
+    """A lint target's audited automata (hosts for protocols)."""
+
+    target: str
+    automata: List[AutomatonModel] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Model builders
+# ----------------------------------------------------------------------
+
+
+def _observed_send_payloads(
+    automaton: Automaton, states: Iterable[State]
+) -> List[Packet]:
+    """Packets the automaton was observed offering to ``send_pkt``."""
+    payloads: Set[Packet] = set()
+    for state in states:
+        for action in automaton.enabled_local_actions(state):
+            if action.name == SEND_PKT:
+                payloads.add(action.payload)
+    return sorted(payloads, key=repr)
+
+
+def build_protocol_model(
+    protocol: DataLinkProtocol,
+    messages: int = 2,
+    max_states: int = 2000,
+    max_depth: int = 50,
+) -> ExploredModel:
+    """Explore a protocol over clean FIFO channels and slice out hosts.
+
+    Ghost uids are disabled so packets and host states stay canonical
+    (the bounded-model-check configuration).  The corpus is the union of
+    a bounded BFS (engine fast path) and two scripted fair executions --
+    a clean delivery run and a crash/fail/recovery run.
+    """
+    from ..sim.network import RECEIVER, TRANSMITTER, DataLinkSystem
+
+    t, r = "t", "r"
+    system = DataLinkSystem.build(
+        protocol,
+        PermissiveFifoChannel(t, r),
+        PermissiveFifoChannel(r, t),
+        t,
+        r,
+        ghost_uids=False,
+    )
+    factory = MessageFactory(label="lint")
+    probes = factory.fresh_many(messages)
+
+    corpus: Set[State] = {system.initial_state()}
+
+    def run_script(start: State, inputs: List[Action]) -> Optional[State]:
+        try:
+            fragment = system.run_fair(start, inputs=inputs)
+        except FairnessTimeout as timeout:
+            corpus.update(timeout.fragment.states)
+            return None
+        except TransitionError:
+            return None
+        corpus.update(fragment.states)
+        return fragment.final_state
+
+    clean_end = run_script(
+        system.initial_state(),
+        [system.wake_t(), system.wake_r()]
+        + [system.send(message) for message in probes],
+    )
+    if clean_end is not None:
+        run_script(
+            clean_end,
+            [
+                system.crash_t(),
+                system.crash_r(),
+                system.fail_t(),
+                system.fail_r(),
+                system.wake_t(),
+                system.wake_r(),
+                system.send(factory.fresh()),
+            ],
+        )
+
+    offered = (system.wake_t(), system.wake_r()) + tuple(
+        system.send(message) for message in probes
+    )
+    result = explore(
+        system.composition,
+        environment=lambda _state: offered,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+    corpus.update(result.states)
+
+    t_states = tuple(
+        sorted({state[TRANSMITTER] for state in corpus}, key=repr)
+    )
+    r_states = tuple(sorted({state[RECEIVER] for state in corpus}, key=repr))
+    t_packets = _observed_send_payloads(system.transmitter, t_states)
+    r_packets = _observed_send_payloads(system.receiver, r_states)
+
+    fresh = factory.fresh()
+    t_inputs = (
+        [wake(t, r), fail(t, r), crash(t, r)]
+        + [send_msg(t, r, message) for message in probes + (fresh,)]
+        + [receive_pkt(r, t, packet) for packet in r_packets]
+    )
+    r_inputs = [wake(r, t), fail(r, t), crash(r, t)] + [
+        receive_pkt(t, r, packet) for packet in t_packets
+    ]
+
+    def declares_no_sends(logic) -> bool:
+        try:
+            return logic.header_space() == frozenset()
+        except Exception:
+            return False
+
+    t_file, t_line = class_location(type(system.transmitter.logic))
+    r_file, r_line = class_location(type(system.receiver.logic))
+    return ExploredModel(
+        target=protocol.name,
+        automata=[
+            AutomatonModel(
+                system.transmitter.name,
+                system.transmitter,
+                t_file,
+                t_line,
+                t_states,
+                tuple(t_inputs),
+                declares_no_sends(system.transmitter.logic),
+            ),
+            AutomatonModel(
+                system.receiver.name,
+                system.receiver,
+                r_file,
+                r_line,
+                r_states,
+                tuple(r_inputs),
+                declares_no_sends(system.receiver.logic),
+            ),
+        ],
+    )
+
+
+def build_automaton_model(
+    automaton: Automaton,
+    environment: Optional[Callable[[State], Iterable[Action]]] = None,
+    max_states: int = 2000,
+    max_depth: int = 50,
+) -> ExploredModel:
+    """Explore a bare automaton under an optional input environment."""
+    offered: List[Action] = []
+
+    def recording_environment(state: State) -> List[Action]:
+        actions = list(environment(state)) if environment is not None else []
+        offered.extend(actions)
+        return actions
+
+    result = explore(
+        automaton,
+        environment=recording_environment,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+    signature = automaton.signature
+    inputs: List[Action] = []
+    seen: Set[Action] = set()
+    for action in offered:
+        if action in seen:
+            continue
+        seen.add(action)
+        if signature.is_input(action):
+            inputs.append(action)
+    file, line = class_location(type(automaton))
+    return ExploredModel(
+        target=automaton.name,
+        automata=[
+            AutomatonModel(
+                automaton.name,
+                automaton,
+                file,
+                line,
+                tuple(sorted(result.states, key=repr)),
+                tuple(inputs),
+            )
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Build-phase rules (REP101/REP102)
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "REP101",
+    "ill-formed-signature",
+    "§2.1",
+    "input/output/internal action sets must be pairwise disjoint",
+    family="build",
+)
+def check_signature_disjointness(target, error):
+    if error.kind != "disjointness":
+        return
+    yield {
+        "message": f"building the target raised SignatureError: {error}",
+        "file": target.file,
+        "line": target.line,
+    }
+
+
+@rule(
+    "REP102",
+    "incompatible-composition",
+    "§2.5.1",
+    "composed automata must have strongly compatible signatures",
+    family="build",
+)
+def check_composition_compatibility(target, error):
+    if error.kind == "disjointness":
+        return
+    yield {
+        "message": f"building the target raised SignatureError: {error}",
+        "file": target.file,
+        "line": target.line,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep rules (REP103-REP106)
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "REP103",
+    "not-input-enabled",
+    "§2.2",
+    "every input action must be enabled in every reachable state",
+    family="semantic",
+)
+def check_input_enabledness(model):
+    for automaton_model in model.automata:
+        automaton = automaton_model.automaton
+        signature = automaton.signature
+        reported: Set[Tuple] = set()
+        for action in automaton_model.inputs:
+            if not signature.is_input(action):
+                continue
+            if action.key in reported:
+                continue
+            for state in automaton_model.states:
+                try:
+                    post = automaton.transitions(state, action)
+                    problem = (
+                        None if post else "has no transition"
+                    )
+                except Exception as exc:
+                    problem = f"raised {type(exc).__name__}: {exc}"
+                if problem is not None:
+                    reported.add(action.key)
+                    yield {
+                        "message": (
+                            f"{automaton_model.name} is not input-enabled: "
+                            f"input {action} {problem} in reachable state "
+                            f"{state!r} (swept "
+                            f"{len(automaton_model.states)} explored states)"
+                        ),
+                        "file": automaton_model.file,
+                        "line": automaton_model.line,
+                    }
+                    break
+
+
+@rule(
+    "REP104",
+    "partial-task-partition",
+    "§2.2",
+    "part(A) must cover every locally-controlled action",
+    family="semantic",
+)
+def check_task_totality(model):
+    for automaton_model in model.automata:
+        automaton = automaton_model.automaton
+        try:
+            task_set = set(automaton.tasks())
+        except Exception as exc:
+            yield {
+                "message": (
+                    f"{automaton_model.name}: tasks() raised "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+                "file": automaton_model.file,
+                "line": automaton_model.line,
+            }
+            continue
+        reported: Set[Tuple] = set()
+        for state in automaton_model.states:
+            for action in automaton.enabled_local_actions(state):
+                if action.key in reported:
+                    continue
+                try:
+                    task = automaton.task_of(action)
+                    problem = (
+                        None
+                        if task in task_set
+                        else (
+                            f"task_of returned {task!r}, which is not "
+                            f"among tasks() = "
+                            f"{sorted(task_set, key=repr)!r}"
+                        )
+                    )
+                except Exception as exc:
+                    problem = f"task_of raised {type(exc).__name__}: {exc}"
+                if problem is not None:
+                    reported.add(action.key)
+                    yield {
+                        "message": (
+                            f"{automaton_model.name}: enabled local action "
+                            f"{action} is not covered by the task "
+                            f"partition: {problem}"
+                        ),
+                        "file": automaton_model.file,
+                        "line": automaton_model.line,
+                    }
+
+
+@rule(
+    "REP105",
+    "dead-action-family",
+    "§2.2",
+    "locally-controlled families should be enabled somewhere",
+    family="semantic",
+    severity="warning",
+)
+def check_dead_families(model):
+    for automaton_model in model.automata:
+        automaton = automaton_model.automaton
+        enabled_families: Set[Tuple] = set()
+        for state in automaton_model.states:
+            for action in automaton.enabled_local_actions(state):
+                enabled_families.add(action.key)
+        for family in sorted(automaton.signature.local, key=repr):
+            if family in enabled_families:
+                continue
+            if family[0] == SEND_PKT and automaton_model.declares_no_sends:
+                continue
+            yield {
+                "message": (
+                    f"{automaton_model.name}: locally-controlled action "
+                    f"family {family!r} is never enabled in any of "
+                    f"{len(automaton_model.states)} explored states "
+                    f"(dead or unreachable behavior)"
+                ),
+                "file": automaton_model.file,
+                "line": automaton_model.line,
+            }
+
+
+@rule(
+    "REP106",
+    "nondeterministic-transition",
+    "§2.2",
+    "report (state, action) pairs with several post-states",
+    family="semantic",
+    severity="info",
+)
+def check_determinism(model):
+    for automaton_model in model.automata:
+        automaton = automaton_model.automaton
+        reported: Set[Tuple] = set()
+        for state in automaton_model.states:
+            candidates = list(automaton.enabled_local_actions(state))
+            candidates.extend(automaton_model.inputs)
+            for action in candidates:
+                if action.key in reported:
+                    continue
+                try:
+                    post = automaton.transitions(state, action)
+                except Exception:
+                    continue  # REP103's problem, not ours
+                if len(post) > 1:
+                    reported.add(action.key)
+                    yield {
+                        "message": (
+                            f"{automaton_model.name}: action {action} has "
+                            f"{len(post)} post-states in state {state!r} "
+                            f"(nondeterministic transition relation)"
+                        ),
+                        "file": automaton_model.file,
+                        "line": automaton_model.line,
+                    }

@@ -20,11 +20,10 @@ terminate.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Tuple
 
 from ..alphabets import Message, Packet
 from ..datalink.protocol import (
-    Core,
     DataLinkProtocol,
     ReceiverLogic,
     TransmitterLogic,

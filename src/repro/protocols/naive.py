@@ -116,7 +116,10 @@ class DirectReceiver(_WakeMixin, ReceiverLogic):
         return replace(core, inbox=core.inbox[1:])
 
     def header_space(self) -> FrozenSet:
-        return frozenset({ACK})
+        # This receiver never sends a packet, so its header space is
+        # honestly empty (an empty ``enabled_sends`` with a non-empty
+        # declared space would read as a dead send_pkt family).
+        return frozenset()
 
 
 def direct_protocol() -> DataLinkProtocol:

@@ -8,10 +8,9 @@ as well as the external data-link actions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..alphabets import Message, Packet
-from ..ioa.actions import Action
 from ..ioa.execution import ExecutionFragment
 from ..channels.actions import RECEIVE_PKT, SEND_PKT
 from ..datalink.actions import RECEIVE_MSG, SEND_MSG

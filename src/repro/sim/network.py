@@ -18,7 +18,7 @@ from ..ioa.actions import Action
 from ..ioa.automaton import State
 from ..ioa.composition import Composition
 from ..ioa.execution import ExecutionFragment
-from ..ioa.fairness import apply_inputs, fair_extension, run_to_quiescence
+from ..ioa.fairness import apply_inputs, fair_extension
 from ..ioa.hiding import Hidden
 from ..channels.actions import crash, fail, packet_families, wake
 from ..channels.delivery_set import DeliverySet
@@ -72,8 +72,9 @@ class DataLinkSystem:
         channel_rt: PermissiveChannel,
         t: str = "t",
         r: str = "r",
+        ghost_uids: bool = True,
     ) -> "DataLinkSystem":
-        transmitter, receiver = protocol.build(t, r)
+        transmitter, receiver = protocol.build(t, r, ghost_uids=ghost_uids)
         composition = Composition(
             [transmitter, receiver, channel_tr, channel_rt],
             name=f"D({protocol.name})",

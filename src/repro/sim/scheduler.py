@@ -10,12 +10,11 @@ several schedules and collects all resulting behaviors.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Tuple
 
 from ..ioa.actions import Action
 from ..ioa.automaton import Automaton, State
-from ..ioa.execution import ExecutionFragment
-from ..ioa.fairness import FairnessTimeout, run_to_quiescence
+from ..ioa.fairness import run_to_quiescence
 
 TieBreak = Callable[[List[Action]], Action]
 

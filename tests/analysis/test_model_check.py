@@ -9,7 +9,6 @@ from repro.analysis import verify_delivery_order
 from repro.analysis.model_check import EnvState, ScriptedEnvironment
 from repro.channels import NondetLossyFifoChannel, send_pkt, receive_pkt
 from repro.alphabets import Packet
-from repro.ioa.actions import directed
 from repro.protocols import (
     alternating_bit_protocol,
     baratz_segall_protocol,

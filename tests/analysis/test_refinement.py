@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.alphabets import Message, MessageFactory
+from repro.alphabets import Message
 from repro.analysis import (
     ReliableLinkSpec,
     abp_mapping,
@@ -14,7 +13,7 @@ from repro.analysis import (
 from repro.analysis.refinement_proofs import eager_mapping
 from repro.datalink import receive_msg, send_msg
 from repro.ioa import check_refinement
-from repro.protocols import alternating_bit_protocol, eager_protocol
+from repro.protocols import eager_protocol
 
 M1, M2 = Message(1), Message(2)
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import Table, run_all, to_markdown, to_text
 from repro.analysis.report import (

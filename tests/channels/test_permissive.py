@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alphabets import Message, Packet
+from repro.alphabets import Packet
 from repro.channels import (
     DeliverySet,
     DeliverySetError,

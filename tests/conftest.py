@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alphabets import Message, MessageFactory, Packet
+from repro.alphabets import MessageFactory
 from repro.protocols import (
     alternating_bit_protocol,
     baratz_segall_protocol,

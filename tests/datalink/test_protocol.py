@@ -7,8 +7,6 @@ import pytest
 from repro.alphabets import Message, Packet
 from repro.channels import crash, fail, receive_pkt, send_pkt, wake
 from repro.datalink import (
-    DataLinkProtocol,
-    HostState,
     ReceiverAutomaton,
     TransmitterAutomaton,
     receive_msg,

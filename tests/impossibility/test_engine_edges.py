@@ -13,7 +13,7 @@ from typing import Iterable, Tuple
 import pytest
 
 from repro.alphabets import Message, Packet
-from repro.datalink import DataLinkProtocol, ReceiverLogic, TransmitterLogic
+from repro.datalink import DataLinkProtocol, TransmitterLogic
 from repro.impossibility import (
     LIVENESS,
     EngineError,

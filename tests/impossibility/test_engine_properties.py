@@ -7,7 +7,6 @@ hypothesis classes.  Hypothesis chooses the parameters.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

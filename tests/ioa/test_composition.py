@@ -31,6 +31,16 @@ class TestConstruction:
         with pytest.raises(SignatureError):
             Composition([Echo(), Echo()])
 
+    def test_incompatible_error_names_components_and_family(self):
+        with pytest.raises(SignatureError) as excinfo:
+            Composition([Echo(), Echo()])
+        error = excinfo.value
+        assert error.kind == "compatibility"
+        assert "not strongly compatible" in str(error)
+        # The clashing family and both owning components are spelled out.
+        assert "('pong', None)" in str(error)
+        assert "'echo'" in str(error)
+
     def test_initial_state_is_vector(self, pipeline):
         assert pipeline.initial_state() == ((), ())
 

@@ -8,7 +8,6 @@ from repro.ioa import (
     Action,
     ActionSignature,
     Automaton,
-    Composition,
     ExecutionFragment,
     FairnessTimeout,
     apply_inputs,

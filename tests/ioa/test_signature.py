@@ -8,6 +8,7 @@ from repro.ioa import (
     Action,
     ActionSignature,
     SignatureError,
+    compatibility_conflicts,
     compose_signatures,
     strongly_compatible,
 )
@@ -128,3 +129,47 @@ class TestComposition:
     def test_empty_composition(self):
         composed = compose_signatures([])
         assert not composed.all_families
+
+
+class TestErrorDiagnostics:
+    def test_disjointness_error_names_families(self):
+        with pytest.raises(SignatureError) as excinfo:
+            sig(inputs=[A, B], outputs=[A], internals=[B])
+        error = excinfo.value
+        assert error.kind == "disjointness"
+        conflicts = dict(error.conflicts)
+        assert conflicts[A] == "both an input and an output"
+        assert conflicts[B] == "both an input and an internal"
+        assert "('a', None)" in str(error)
+        assert "('b', None)" in str(error)
+
+    def test_compatibility_conflicts_shared_output(self):
+        conflicts = compatibility_conflicts(
+            [sig(outputs=[A]), sig(outputs=[A])],
+            names=["left", "right"],
+        )
+        assert conflicts == [(A, "an output of both left and right")]
+
+    def test_compatibility_conflicts_internal_leak(self):
+        conflicts = compatibility_conflicts(
+            [sig(internals=[A]), sig(inputs=[A])],
+            names=["first", "second"],
+        )
+        (conflict,) = conflicts
+        assert conflict[0] == A
+        assert "internal to first" in conflict[1]
+        assert "second" in conflict[1]
+
+    def test_compatible_signatures_have_no_conflicts(self):
+        assert (
+            compatibility_conflicts([sig(outputs=[A]), sig(inputs=[A])])
+            == []
+        )
+
+    def test_compose_error_enumerates_conflicts(self):
+        with pytest.raises(SignatureError) as excinfo:
+            compose_signatures([sig(outputs=[A]), sig(outputs=[A])])
+        error = excinfo.value
+        assert error.kind == "compatibility"
+        assert error.conflicts
+        assert "('a', None)" in str(error)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable
 
 from repro.ioa import Action, ActionSignature, Automaton
 

@@ -1,0 +1,21 @@
+"""The mutant zoo: deliberately broken automata and protocols.
+
+Each ``rep*.py`` module holds one mutant that triggers *exactly one*
+lint code, declared in its ``EXPECTED_CODE``; ``LINT_TARGETS`` lists
+the module's lint targets (consumed by ``repro lint --module`` and by
+the fixture tests), and an optional ``ENVIRONMENT`` supplies input
+actions for bare-automaton targets.
+"""
+
+#: Module name -> the single code that module's mutant must trigger.
+MUTANTS = {
+    "rep101_overlapping_signature": "REP101",
+    "rep102_incompatible_composition": "REP102",
+    "rep103_not_input_enabled": "REP103",
+    "rep104_partial_tasks": "REP104",
+    "rep105_dead_family": "REP105",
+    "rep106_nondeterministic": "REP106",
+    "rep201_message_introspection": "REP201",
+    "rep202_stable_storage": "REP202",
+    "rep203_unbounded_header": "REP203",
+}

@@ -1,0 +1,92 @@
+"""Clean building blocks shared by the protocol-shaped mutants.
+
+Everything here is lint-clean on its own: the mutant modules subclass
+or pair these with one deliberate defect so that exactly one code
+fires per fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.alphabets import Message, Packet
+from repro.datalink.protocol import ReceiverLogic, TransmitterLogic
+
+DATA = "DATA"
+
+
+@dataclass(frozen=True)
+class QueueCore:
+    queue: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+@dataclass(frozen=True)
+class InboxCore:
+    inbox: Tuple[Message, ...] = ()
+    awake: bool = False
+
+
+class FireAndForgetTransmitter(TransmitterLogic):
+    """Queues messages and sends each exactly once (lint-clean)."""
+
+    def initial_core(self) -> QueueCore:
+        return QueueCore()
+
+    def on_wake(self, core: QueueCore) -> QueueCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: QueueCore) -> QueueCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core: QueueCore, packet: Packet) -> QueueCore:
+        return core
+
+    def enabled_sends(self, core: QueueCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet(DATA, (core.queue[0],))
+
+    def after_send(self, core: QueueCore, packet: Packet) -> QueueCore:
+        return replace(core, queue=core.queue[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({DATA})
+
+
+class SilentReceiver(ReceiverLogic):
+    """Delivers data packets in order and never sends (lint-clean)."""
+
+    def initial_core(self) -> InboxCore:
+        return InboxCore()
+
+    def on_wake(self, core: InboxCore) -> InboxCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: InboxCore) -> InboxCore:
+        return replace(core, awake=False)
+
+    def on_packet(self, core: InboxCore, packet: Packet) -> InboxCore:
+        if packet.header == DATA:
+            (message,) = packet.body
+            return replace(core, inbox=core.inbox + (message,))
+        return core
+
+    def enabled_sends(self, core: InboxCore) -> Iterable[Packet]:
+        return ()
+
+    def after_send(self, core: InboxCore, packet: Packet) -> InboxCore:
+        return core
+
+    def enabled_deliveries(self, core: InboxCore) -> Iterable[Message]:
+        if core.inbox:
+            yield core.inbox[0]
+
+    def after_delivery(self, core: InboxCore, message: Message) -> InboxCore:
+        return replace(core, inbox=core.inbox[1:])
+
+    def header_space(self) -> FrozenSet:
+        return frozenset()  # never sends

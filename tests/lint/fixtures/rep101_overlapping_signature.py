@@ -1,0 +1,39 @@
+"""REP101 mutant: a signature classifying one family as input AND output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton
+
+EXPECTED_CODE = "REP101"
+
+PING = ("ping", None)
+
+
+class OverlappingSignatureAutomaton(Automaton):
+    """Declares ``ping`` as both an input and an output (ill-formed)."""
+
+    name = "mutant-overlapping-signature"
+
+    def __init__(self) -> None:
+        # Raises SignatureError(kind="disjointness") at construction.
+        self._signature = ActionSignature.make(
+            inputs=[PING], outputs=[PING]
+        )
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    def initial_state(self) -> int:
+        return 0
+
+    def transitions(self, state, action) -> Tuple:
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        return ()
+
+
+LINT_TARGETS = [OverlappingSignatureAutomaton]

@@ -1,0 +1,42 @@
+"""REP102 mutant: two components claiming the same output family."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton, Composition
+
+EXPECTED_CODE = "REP102"
+
+BLIP = ("blip", None)
+
+
+class Blip(Automaton):
+    """Emits one ``blip``; two of these are not strongly compatible."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(outputs=[BLIP])
+
+    def initial_state(self) -> int:
+        return 0
+
+    def transitions(self, state, action) -> Tuple:
+        if action.name == "blip" and state == 0:
+            return (1,)
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state == 0:
+            yield Action("blip")
+
+
+def clashing_composition() -> Composition:
+    # Raises SignatureError(kind="compatibility") naming the family.
+    return Composition([Blip("left"), Blip("right")], name="clashing")
+
+
+LINT_TARGETS = [clashing_composition]

@@ -1,0 +1,44 @@
+"""REP103 mutant: an automaton that ignores an input in one state."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton
+
+EXPECTED_CODE = "REP103"
+
+POKE = ("poke", None)
+ADVANCE = ("advance", None)
+
+
+class DeafAutomaton(Automaton):
+    """Accepts ``poke`` while listening, refuses it once deaf."""
+
+    name = "mutant-deaf"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(inputs=[POKE], outputs=[ADVANCE])
+
+    def initial_state(self) -> str:
+        return "listening"
+
+    def transitions(self, state, action) -> Tuple:
+        if action.name == "poke":
+            # Input-enabledness violation: no transition when deaf.
+            return (state,) if state == "listening" else ()
+        if action.name == "advance" and state == "listening":
+            return ("deaf",)
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state == "listening":
+            yield Action("advance")
+
+
+def ENVIRONMENT(state) -> Tuple[Action, ...]:
+    return (Action("poke"),)
+
+
+LINT_TARGETS = [DeafAutomaton()]

@@ -1,0 +1,46 @@
+"""REP104 mutant: a task partition that misses a local action family."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton
+
+EXPECTED_CODE = "REP104"
+
+LEFT = ("left", None)
+RIGHT = ("right", None)
+
+
+class HalfPartitionedAutomaton(Automaton):
+    """``part(A)`` covers ``left`` but forgets ``right``."""
+
+    name = "mutant-half-partitioned"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(outputs=[LEFT, RIGHT])
+
+    def initial_state(self) -> int:
+        return 0
+
+    def transitions(self, state, action) -> Tuple:
+        if state == 0 and action.name in ("left", "right"):
+            return (1,)
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state == 0:
+            yield Action("left")
+            yield Action("right")
+
+    def task_of(self, action: Action) -> Hashable:
+        if action.name == "left":
+            return (self.name, "left")
+        raise KeyError(f"no task for {action}")
+
+    def tasks(self) -> Iterable[Hashable]:
+        return [(self.name, "left")]
+
+
+LINT_TARGETS = [HalfPartitionedAutomaton()]

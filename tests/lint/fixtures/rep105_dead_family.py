@@ -1,0 +1,35 @@
+"""REP105 mutant: a receiver declaring headers it never sends."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, SilentReceiver
+
+EXPECTED_CODE = "REP105"
+
+ACK = "ACK"
+
+
+class DeadClaimReceiver(SilentReceiver):
+    """Claims an ``ACK`` header but ``enabled_sends`` never offers one.
+
+    A genuinely silent receiver should declare an empty header space
+    (the honest convention REP105 exempts); declaring ``{ACK}`` leaves
+    the ``send_pkt`` family permanently disabled.
+    """
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({ACK})
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-dead-family",
+    transmitter_factory=FireAndForgetTransmitter,
+    receiver_factory=DeadClaimReceiver,
+    description="receiver declares ACK headers but never sends",
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -1,0 +1,36 @@
+"""REP106 mutant: one action with two post-states from one state."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.ioa import Action, ActionSignature, Automaton
+
+EXPECTED_CODE = "REP106"
+
+FLIP = ("flip", None)
+
+
+class CoinFlip(Automaton):
+    """``flip`` lands on either side: a nondeterministic transition."""
+
+    name = "mutant-coin-flip"
+
+    @property
+    def signature(self) -> ActionSignature:
+        return ActionSignature.make(outputs=[FLIP])
+
+    def initial_state(self) -> str:
+        return "ready"
+
+    def transitions(self, state, action) -> Tuple:
+        if state == "ready" and action.name == "flip":
+            return ("heads", "tails")
+        return ()
+
+    def enabled_local_actions(self, state) -> Iterable[Action]:
+        if state == "ready":
+            yield Action("flip")
+
+
+LINT_TARGETS = [CoinFlip()]

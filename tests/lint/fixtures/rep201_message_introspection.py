@@ -1,0 +1,34 @@
+"""REP201 mutant: protocol logic branching on a message's identity."""
+
+from __future__ import annotations
+
+from repro.alphabets import Message
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, QueueCore, SilentReceiver
+
+EXPECTED_CODE = "REP201"
+
+
+class IdentSniffingTransmitter(FireAndForgetTransmitter):
+    """Silently drops the message whose ``ident`` is zero.
+
+    Inspecting ``message.ident`` breaks message-independence
+    (Section 5.3.1): behaviour no longer commutes with renaming the
+    message alphabet.
+    """
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        if message.ident == 0:
+            return core
+        return super().on_send_msg(core, message)
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-message-introspection",
+    transmitter_factory=IdentSniffingTransmitter,
+    receiver_factory=SilentReceiver,
+    description="transmitter branches on message.ident",
+)
+
+LINT_TARGETS = [PROTOCOL]

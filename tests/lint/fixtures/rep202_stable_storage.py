@@ -1,0 +1,31 @@
+"""REP202 mutant: crash handler that keeps state despite claiming crashing."""
+
+from __future__ import annotations
+
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, QueueCore, SilentReceiver
+
+EXPECTED_CODE = "REP202"
+
+
+class StableStorageTransmitter(FireAndForgetTransmitter):
+    """Survives a crash with its queue intact.
+
+    The protocol is declared crashing (``crash_resilient=False``), so
+    ``on_crash`` must reset to the initial core; returning ``core``
+    unchanged smuggles in stable storage (Sections 5.3.2 and 7).
+    """
+
+    def on_crash(self, core: QueueCore) -> QueueCore:
+        return core
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-stable-storage",
+    transmitter_factory=StableStorageTransmitter,
+    receiver_factory=SilentReceiver,
+    description="crashing protocol whose transmitter survives crashes",
+)
+
+LINT_TARGETS = [PROTOCOL]

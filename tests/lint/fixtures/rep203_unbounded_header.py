@@ -1,0 +1,71 @@
+"""REP203 mutant: arithmetic header growth behind a finite claim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.alphabets import Message, Packet
+from repro.datalink.protocol import DataLinkProtocol, TransmitterLogic
+
+from ._base import DATA, InboxCore, SilentReceiver
+
+EXPECTED_CODE = "REP203"
+
+
+@dataclass(frozen=True)
+class CountingCore:
+    queue: Tuple[Message, ...] = ()
+    seq: int = 0
+    awake: bool = False
+
+
+class EscalatingTransmitter(TransmitterLogic):
+    """Stamps each packet with ``seq + 1`` while claiming finite headers.
+
+    The arithmetic in the header expression generates an unbounded
+    header set (Section 8), contradicting ``header_space()``.
+    """
+
+    def initial_core(self) -> CountingCore:
+        return CountingCore()
+
+    def on_wake(self, core: CountingCore) -> CountingCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: CountingCore) -> CountingCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(self, core: CountingCore, message: Message) -> CountingCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core: CountingCore, packet: Packet) -> CountingCore:
+        return core
+
+    def enabled_sends(self, core: CountingCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            yield Packet((DATA, core.seq + 1), (core.queue[0],))
+
+    def after_send(self, core: CountingCore, packet: Packet) -> CountingCore:
+        return replace(core, queue=core.queue[1:], seq=core.seq + 1)
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({(DATA, 1)})  # a lie: seq grows without bound
+
+
+class TupleHeaderReceiver(SilentReceiver):
+    """Accepts any packet so deliveries still flow in the corpus."""
+
+    def on_packet(self, core: InboxCore, packet: Packet) -> InboxCore:
+        (message,) = packet.body
+        return replace(core, inbox=core.inbox + (message,))
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-unbounded-header",
+    transmitter_factory=EscalatingTransmitter,
+    receiver_factory=TupleHeaderReceiver,
+    description="header arithmetic contradicting a finite header_space",
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -1,0 +1,86 @@
+"""End-to-end tests for ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.lint import REPORT_VERSION
+
+
+def test_lint_zoo_text_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "all clean" in out
+
+
+def test_lint_single_protocol(capsys):
+    assert main(["lint", "abp"]) == 0
+    assert "all clean" in capsys.readouterr().out
+
+
+def test_lint_json_schema(capsys):
+    assert main(["lint", "abp", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == REPORT_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["findings"] == []
+    assert payload["summary"]["findings"] == 0
+
+
+def test_lint_module_finds_mutant(capsys):
+    code = main(
+        ["lint", "--module", "tests.lint.fixtures.rep103_not_input_enabled"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REP103" in out
+
+
+def test_lint_module_json_output(capsys, tmp_path):
+    target = tmp_path / "report.json"
+    code = main(
+        [
+            "lint",
+            "--module",
+            "tests.lint.fixtures.rep203_unbounded_header",
+            "--format",
+            "json",
+            "--output",
+            str(target),
+        ]
+    )
+    assert code == 1
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(target.read_text())
+    assert [f["code"] for f in payload["findings"]] == ["REP203"]
+
+
+def test_lint_select_filters(capsys):
+    code = main(
+        [
+            "lint",
+            "--module",
+            "tests.lint.fixtures.rep106_nondeterministic",
+            "--select",
+            "REP2",
+        ]
+    )
+    out = capsys.readouterr().out
+    # The only finding is REP106; selecting REP2xx leaves a clean report.
+    assert code == 0
+    assert "all clean" in out
+
+
+def test_lint_list_codes(capsys):
+    assert main(["lint", "--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("REP101", "REP203", "§2.2", "§8"):
+        assert expected in out
+
+
+def test_lint_module_without_targets_rejected(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["lint", "--module", "json"])

@@ -1,0 +1,55 @@
+"""Every mutant in the zoo triggers exactly its one expected code."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.lint import RULES, lint_targets, target_from
+
+from .fixtures import MUTANTS
+
+
+def lint_module(module_name: str):
+    module = importlib.import_module(
+        f"tests.lint.fixtures.{module_name}"
+    )
+    environment = getattr(module, "ENVIRONMENT", None)
+    targets = [
+        target_from(obj, environment=environment)
+        for obj in module.LINT_TARGETS
+    ]
+    return module, lint_targets(targets)
+
+
+@pytest.mark.parametrize("module_name", sorted(MUTANTS))
+def test_mutant_triggers_exactly_its_code(module_name):
+    module, report = lint_module(module_name)
+    expected = MUTANTS[module_name]
+    assert module.EXPECTED_CODE == expected
+    codes = {diagnostic.code for diagnostic in report.diagnostics}
+    assert codes == {expected}, report.render_text()
+
+
+@pytest.mark.parametrize("module_name", sorted(MUTANTS))
+def test_mutant_diagnostics_are_well_formed(module_name):
+    _, report = lint_module(module_name)
+    for diagnostic in report.diagnostics:
+        rule = RULES[diagnostic.code]
+        assert diagnostic.severity == rule.severity
+        assert diagnostic.paper == rule.paper
+        # Locations point into the fixture module, not the framework.
+        assert "tests/lint/fixtures" in diagnostic.file
+        assert diagnostic.line > 0
+        assert diagnostic.code in diagnostic.render()
+
+
+def test_every_code_has_a_mutant():
+    assert set(MUTANTS.values()) == set(RULES)
+
+
+def test_mutant_reports_fail_the_lint():
+    for module_name in MUTANTS:
+        _, report = lint_module(module_name)
+        assert not report.ok

@@ -1,0 +1,97 @@
+"""The real protocol zoo lints clean, and reports are schema-stable."""
+
+from __future__ import annotations
+
+from repro.lint import (
+    REPORT_VERSION,
+    RULES,
+    Diagnostic,
+    LintReport,
+    lint_targets,
+    zoo_targets,
+)
+
+
+def test_zoo_is_clean():
+    targets = zoo_targets()
+    assert len(targets) >= 5
+    report = lint_targets(targets)
+    assert report.ok, report.render_text()
+    assert report.targets == [target.name for target in targets]
+
+
+def make_diagnostic(code="REP103", severity="error"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        target="toy",
+        message="example finding",
+        file="src/example.py",
+        line=7,
+        paper="§2.2",
+    )
+
+
+class TestReportShape:
+    def test_to_dict_schema(self):
+        report = LintReport(
+            diagnostics=(make_diagnostic(),), targets=("toy",)
+        )
+        payload = report.to_dict()
+        assert payload["version"] == REPORT_VERSION
+        assert payload["tool"] == "repro-lint"
+        assert payload["targets"] == ["toy"]
+        (finding,) = payload["findings"]
+        assert finding == {
+            "code": "REP103",
+            "severity": "error",
+            "target": "toy",
+            "message": "example finding",
+            "file": "src/example.py",
+            "line": 7,
+            "paper": "§2.2",
+        }
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["by_code"] == {"REP103": 1}
+        assert payload["summary"]["by_severity"] == {"error": 1}
+
+    def test_select_filters_by_prefix(self):
+        report = LintReport(
+            diagnostics=(
+                make_diagnostic("REP101"),
+                make_diagnostic("REP203"),
+            ),
+            targets=("toy",),
+        )
+        semantic = report.select(["REP1"])
+        assert [d.code for d in semantic.diagnostics] == ["REP101"]
+        both = report.select(["REP101", "REP203"])
+        assert len(both.diagnostics) == 2
+
+    def test_render_text_mentions_summary(self):
+        empty = LintReport(diagnostics=(), targets=("a", "b"))
+        assert "all clean" in empty.render_text()
+        dirty = LintReport(
+            diagnostics=(make_diagnostic(),), targets=("toy",)
+        )
+        assert "REP103" in dirty.render_text()
+        assert not dirty.ok
+
+
+def test_registry_is_complete():
+    codes = sorted(RULES)
+    assert codes == [
+        "REP101",
+        "REP102",
+        "REP103",
+        "REP104",
+        "REP105",
+        "REP106",
+        "REP201",
+        "REP202",
+        "REP203",
+    ]
+    for rule in RULES.values():
+        assert rule.paper.startswith("§")
+        assert rule.severity in ("error", "warning", "info")
+        assert rule.family in ("build", "semantic", "source")

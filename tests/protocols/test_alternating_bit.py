@@ -11,9 +11,7 @@ from repro.channels import lossy_fifo_channel
 from repro.datalink import dl_module
 from repro.protocols.alternating_bit import (
     AbpReceiver,
-    AbpReceiverCore,
     AbpTransmitter,
-    AbpTransmitterCore,
     alternating_bit_protocol,
 )
 from repro.sim import DataLinkSystem, delivery_stats, fifo_system

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alphabets import Message, MessageFactory, Packet
+from repro.alphabets import Message, Packet
 from repro.datalink import dl4, dl5, dl_module
 from repro.protocols.baratz_segall import (
     BsReceiver,
     BsTransmitter,
     baratz_segall_protocol,
 )
-from repro.sim import crash_storm, delivery_stats, fifo_system, run_scenario
+from repro.sim import crash_storm, fifo_system, run_scenario
 
 from ..conftest import deliver_all
 

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.alphabets import MessageFactory
 from repro.datalink import (
     check_message_independence,
-    dl4,
     dl5,
     dl_module,
 )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alphabets import Message, MessageFactory, Packet
+from repro.alphabets import Message, Packet
 from repro.analysis import verify_delivery_order
 from repro.channels import lossy_fifo_channel
 from repro.datalink import (

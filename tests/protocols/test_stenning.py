@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alphabets import Message, MessageFactory, Packet
+from repro.alphabets import Message, Packet
 from repro.channels import reordering_channel
 from repro.datalink import dl_module, wdl_module
 from repro.protocols.stenning import (

@@ -12,7 +12,7 @@ from repro.channels import (
     send_pkt,
 )
 from repro.protocols import alternating_bit_protocol
-from repro.sim import DataLinkSystem, custom_system, fifo_system, permissive_system
+from repro.sim import custom_system, fifo_system, permissive_system
 
 
 @pytest.fixture

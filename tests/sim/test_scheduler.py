@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.alphabets import MessageFactory
 from repro.datalink import dl_module
-from repro.protocols import alternating_bit_protocol, sliding_window_protocol
+from repro.protocols import sliding_window_protocol
 from repro.sim import (
     behaviors_under_schedules,
     deterministic_tie_break,

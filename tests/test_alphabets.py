@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import pytest
 
 from repro.alphabets import (
     Message,

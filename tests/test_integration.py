@@ -13,8 +13,7 @@ from hypothesis import strategies as st
 
 from repro.alphabets import MessageFactory
 from repro.analysis import check_datalink_trace, measure_header_growth
-from repro.channels import DeliverySet, PermissiveChannel, PermissiveFifoChannel
-from repro.datalink import dl_module, wdl_module
+from repro.channels import DeliverySet, PermissiveFifoChannel
 from repro.impossibility import (
     EngineError,
     refute_bounded_headers,

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Tuple
 
-import pytest
 
 from repro.alphabets import Message, Packet
 from repro.analysis import render_msc, verify_delivery_order
@@ -178,3 +177,11 @@ class TestSection5Exhaustive:
         assert not broken.ok
         chart = render_msc(broken.counterexample)
         assert "receive_msg" in chart
+
+
+class TestSection8Lint:
+    def test_nak_protocol_lints_clean(self):
+        from repro.lint import lint_targets, target_from
+
+        report = lint_targets([target_from(nak_protocol())])
+        assert report.ok, report.render_text()
