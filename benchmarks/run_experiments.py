@@ -10,8 +10,12 @@ Run:  python benchmarks/run_experiments.py [E1 E2 ...]
 
 ``--bench-explore[=PATH]`` additionally benchmarks the exploration
 engine against the reference BFS (states/sec per protocol) and writes
-the report to ``bench/BENCH_explore.json`` (or PATH).  With no
-experiment names given alongside it, only the benchmark runs.
+the report to ``bench/BENCH_explore.json`` (or PATH).
+``--bench-trace[=PATH]`` runs one benchmark exploration under full
+tracing and writes its JSONL event stream (plus run manifest) to
+``bench/BENCH_explore_trace.jsonl`` (or PATH) — CI uploads this as an
+artifact.  With no experiment names given alongside either flag, only
+the benchmark runs.
 """
 
 from __future__ import annotations
@@ -19,12 +23,18 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import run_all, to_text
-from repro.ioa.engine.bench import DEFAULT_PATH, write_bench_json
+from repro.ioa.engine.bench import (
+    DEFAULT_PATH,
+    TRACE_PATH,
+    write_bench_json,
+    write_bench_trace,
+)
 
 
 def main() -> None:
     argv = list(sys.argv[1:])
     bench_path = None
+    trace_path = None
     for arg in list(argv):
         if arg == "--bench-explore":
             bench_path = DEFAULT_PATH
@@ -32,9 +42,22 @@ def main() -> None:
         elif arg.startswith("--bench-explore="):
             bench_path = arg.split("=", 1)[1] or DEFAULT_PATH
             argv.remove(arg)
-    if bench_path is None or argv:
+        elif arg == "--bench-trace":
+            trace_path = TRACE_PATH
+            argv.remove(arg)
+        elif arg.startswith("--bench-trace="):
+            trace_path = arg.split("=", 1)[1] or TRACE_PATH
+            argv.remove(arg)
+    if (bench_path is None and trace_path is None) or argv:
         only = argv or None
         print(to_text(run_all(only=only)))
+    if trace_path is not None:
+        summary = write_bench_trace(trace_path)
+        print(
+            f"wrote {summary['path']}: {summary['protocol']} "
+            f"({summary['states']} states, "
+            f"{len(summary['counters'])} counter series)"
+        )
     if bench_path is not None:
         report = write_bench_json(bench_path)
         protocols = report["protocols"]

@@ -137,6 +137,28 @@ class ModelCheckResult:
     def ok(self) -> bool:
         return self.counterexample is None
 
+    def report(self, duration_s: float = 0.0) -> "RunReport":
+        """This result as the unified :class:`~repro.obs.RunReport`."""
+        from ..obs import STATUS_OK, STATUS_VIOLATION, RunReport
+
+        details = {
+            "protocol": self.protocol_name,
+            "messages": self.messages,
+            "capacity": self.capacity,
+            "exhaustive": self.exhaustive,
+        }
+        if self.counterexample is not None:
+            details["counterexample"] = [
+                str(action) for action in self.counterexample
+            ]
+        return RunReport(
+            command="verify",
+            status=STATUS_OK if self.ok else STATUS_VIOLATION,
+            counters={"explore.states": self.states_explored},
+            duration_s=duration_s,
+            details=details,
+        )
+
 
 def build_closed_system(
     protocol: DataLinkProtocol,

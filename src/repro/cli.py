@@ -25,17 +25,33 @@ Commands
 ``lint [PROTOCOL ...]``
     Static model audit of the protocol zoo (or the given protocols)
     with ruff-style diagnostics; exits non-zero on findings.
+``trace FILE``
+    Summarize a JSONL trace written by ``--trace`` (manifest, counter
+    totals, span timings).
 
 Protocols are named as in ``list``; parameterized families take an
 argument after a colon, e.g. ``sliding-window:4``, ``mod-stenning:8``,
 ``fragmenting:2``.
+
+Unified output (the api): every subcommand accepts ``--json`` and then
+prints one :class:`~repro.obs.RunReport` envelope -- ``{"command",
+"status", "counters", "duration_s", "details"}`` -- whatever the
+command (the command-specific payload lives under ``details``).  Exit
+codes map from ``status``: ``ok`` is 0, ``violation``/``findings`` are
+1, ``error`` is 2.  ``simulate``, ``verify``, ``refute-crash`` and
+``refute-headers`` additionally accept ``--trace OUT.jsonl``, which
+records the run's structured event stream (spans, counters, gauges)
+closed by a run manifest; inspect it with ``repro trace OUT.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, Optional
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis import check_datalink_trace, measure_header_growth
 from .channels import lossy_fifo_channel, reordering_channel
@@ -49,6 +65,15 @@ from .impossibility import (
     EngineError,
     refute_bounded_headers,
     refute_crash_tolerance,
+)
+from .obs import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_VIOLATION,
+    RunManifest,
+    RunReport,
+    read_events,
+    trace_run,
 )
 from .protocols import (
     alternating_bit_protocol,
@@ -95,76 +120,201 @@ def resolve_protocol(spec: str) -> DataLinkProtocol:
     return REGISTRY[name](parameter)
 
 
-def cmd_list(_args: argparse.Namespace) -> int:
+# ----------------------------------------------------------------------
+# Unified emission and tracing plumbing
+# ----------------------------------------------------------------------
+
+
+def _emit(
+    args: argparse.Namespace,
+    report: RunReport,
+    lines: Sequence[str] = (),
+) -> int:
+    """Print either the text rendering or the RunReport envelope.
+
+    Under ``--json`` the envelope is the *only* stdout output; the text
+    lines are what the command would have printed without it.  The exit
+    code always comes from the report's status.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for line in lines:
+            print(line)
+    return report.exit_code
+
+
+@contextmanager
+def _maybe_traced(
+    args: argparse.Namespace,
+    command: str,
+    protocol: Optional[str] = None,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, object]] = None,
+):
+    """Honor ``--trace PATH``: record the block's event stream + manifest.
+
+    Yields the tracer (or None when tracing was not requested) so
+    commands can merge its counter totals into their RunReport.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    with trace_run(
+        path, command=command, protocol=protocol, seed=seed, config=config
+    ) as tracer:
+        yield tracer
+
+
+def _merge_trace(
+    report: RunReport, args: argparse.Namespace, tracer
+) -> RunReport:
+    """Fold a traced run's counter totals and artifact path into the
+    report (tracer counters win: they are a superset of the estimates a
+    result object can reconstruct after the fact)."""
+    if tracer is not None:
+        merged = dict(report.counters)
+        merged.update(tracer.snapshot_counters())
+        report.counters = merged
+        report.artifacts["trace"] = args.trace
+    return report
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    lines = []
+    details: Dict[str, object] = {}
     for name in sorted(REGISTRY):
         protocol = REGISTRY[name](None)
-        print(f"{name:24s} {protocol.description}")
-    return 0
+        lines.append(f"{name:24s} {protocol.description}")
+        details[name] = protocol.description
+    report = RunReport(
+        command="list",
+        status=STATUS_OK,
+        counters={"protocols": len(REGISTRY)},
+        details={"protocols": details},
+    )
+    return _emit(args, report, lines)
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     protocol = resolve_protocol(args.protocol)
-    print(f"protocol: {protocol.name}")
     independence = check_message_independence(protocol)
-    print(
-        "message-independent: "
-        + ("yes" if independence.independent else f"NO ({independence.detail})")
-    )
     crashing = check_crashing(protocol)
-    print(
-        f"crashing (loses all state on crash): "
-        + ("yes" if crashing.crashing else f"no ({crashing.detail})")
-    )
     headers = protocol.header_space()
-    print(
-        "header space: "
-        + ("unbounded" if headers is None else f"{len(headers)} headers")
-    )
     k_report = probe_k_bound(protocol)
-    if k_report.delivered:
-        print(f"k-boundedness probe: k = {k_report.k}")
-    else:
-        print(f"k-boundedness probe: FAILED ({k_report.detail})")
-    return 0
+    lines = [
+        f"protocol: {protocol.name}",
+        "message-independent: "
+        + (
+            "yes"
+            if independence.independent
+            else f"NO ({independence.detail})"
+        ),
+        "crashing (loses all state on crash): "
+        + ("yes" if crashing.crashing else f"no ({crashing.detail})"),
+        "header space: "
+        + ("unbounded" if headers is None else f"{len(headers)} headers"),
+        (
+            f"k-boundedness probe: k = {k_report.k}"
+            if k_report.delivered
+            else f"k-boundedness probe: FAILED ({k_report.detail})"
+        ),
+    ]
+    details: Dict[str, object] = {
+        "protocol": protocol.name,
+        "message_independent": independence.independent,
+        "crashing": crashing.crashing,
+        "header_space": None if headers is None else len(headers),
+        "k_bound": k_report.k if k_report.delivered else None,
+    }
+    if not independence.independent:
+        details["message_independent_detail"] = independence.detail
+    if not crashing.crashing:
+        details["crashing_detail"] = crashing.detail
+    if not k_report.delivered:
+        details["k_bound_detail"] = k_report.detail
+    report = RunReport(
+        command="check",
+        status=STATUS_OK,
+        counters={"check.hypotheses": 4},
+        duration_s=time.perf_counter() - started,
+        details=details,
+    )
+    return _emit(args, report, lines)
 
 
-def _print_certificate(certificate, as_json: bool = False) -> int:
-    if as_json:
-        import json
-
-        print(json.dumps(certificate.to_dict(), indent=2))
-        return 0 if certificate.validate() else 1
-    print(certificate.describe())
-    ok = certificate.validate()
-    print(f"\nindependently validated: {ok}")
-    return 0 if ok else 1
+def _run_refutation(
+    args: argparse.Namespace,
+    command: str,
+    construct: Callable[[], "object"],
+    config: Dict[str, object],
+) -> int:
+    """Shared driver for the two impossibility engines."""
+    started = time.perf_counter()
+    try:
+        with _maybe_traced(
+            args, command, protocol=args.protocol, config=config
+        ) as tracer:
+            certificate = construct()
+    except EngineError as exc:
+        report = RunReport(
+            command=command,
+            status=STATUS_ERROR,
+            duration_s=time.perf_counter() - started,
+            details={"protocol": args.protocol, "error": str(exc)},
+        )
+        if getattr(args, "trace", None):
+            report.artifacts["trace"] = args.trace
+        return _emit(args, report, [f"engine rejected the protocol: {exc}"])
+    report = certificate.report(
+        duration_s=time.perf_counter() - started
+    )
+    report = _merge_trace(report, args, tracer)
+    lines = [
+        certificate.describe(),
+        "",
+        f"independently validated: {certificate.validate()}",
+    ]
+    return _emit(args, report, lines)
 
 
 def cmd_refute_crash(args: argparse.Namespace) -> int:
     protocol = resolve_protocol(args.protocol)
-    try:
-        certificate = refute_crash_tolerance(
+    return _run_refutation(
+        args,
+        "refute-crash",
+        lambda: refute_crash_tolerance(
             protocol, message_size=args.message_size
-        )
-    except EngineError as exc:
-        print(f"engine rejected the protocol: {exc}")
-        return 2
-    return _print_certificate(certificate, args.json)
+        ),
+        {"protocol": args.protocol, "message_size": args.message_size},
+    )
 
 
 def cmd_refute_headers(args: argparse.Namespace) -> int:
     protocol = resolve_protocol(args.protocol)
-    try:
-        certificate = refute_bounded_headers(
+    return _run_refutation(
+        args,
+        "refute-headers",
+        lambda: refute_bounded_headers(
             protocol, k=args.k, message_size=args.message_size
-        )
-    except EngineError as exc:
-        print(f"engine rejected the protocol: {exc}")
-        return 2
-    return _print_certificate(certificate, args.json)
+        ),
+        {
+            "protocol": args.protocol,
+            "k": args.k,
+            "message_size": args.message_size,
+        },
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     protocol = resolve_protocol(args.protocol)
     if args.reorder > 1:
         build = lambda src, dst, seed: reordering_channel(  # noqa: E731
@@ -184,97 +334,171 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         crash_probability=0.15 if args.crashes else 0.0,
         seed=args.seed,
     )
-    script = generate_script(system, plan)
-    result = run_scenario(system, script.actions, seed=args.seed)
-    stats = delivery_stats(result.fragment)
-    print(
+    config = {
+        "protocol": args.protocol,
+        "messages": args.messages,
+        "loss": args.loss,
+        "reorder": args.reorder,
+        "crashes": args.crashes,
+    }
+    with _maybe_traced(
+        args, "simulate", protocol.name, args.seed, config
+    ) as tracer:
+        script = generate_script(system, plan)
+        result = run_scenario(system, script.actions, seed=args.seed)
+        stats = delivery_stats(result.fragment)
+        audit = check_datalink_trace(
+            result.behavior, quiescent=result.quiescent
+        )
+    lines = [
         f"sent {stats.sent}, delivered {stats.delivered}, duplicates "
         f"{stats.duplicates}, steps {result.steps}, quiescent "
         f"{result.quiescent}"
-    )
+    ]
     if args.msc:
         from .analysis import render_fragment
 
-        print()
-        print(render_fragment(result.fragment))
-    report = check_datalink_trace(
-        result.behavior, quiescent=result.quiescent
-    )
-    print()
-    print(report.describe())
-    return 0 if report.ok else 1
+        lines.append("")
+        lines.append(render_fragment(result.fragment))
+    lines.append("")
+    lines.append(audit.describe())
+    report = result.report(duration_s=time.perf_counter() - started)
+    report.status = STATUS_OK if audit.ok else STATUS_VIOLATION
+    report.details["audit"] = {
+        name: audit.results[name].holds for name in sorted(audit.results)
+    }
+    if not audit.ok:
+        report.details["violations"] = [
+            {"property": failure.name, "witness": str(failure.witness)}
+            for failure in audit.violations
+        ]
+    report = _merge_trace(report, args, tracer)
+    return _emit(args, report, lines)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     from .analysis import verify_delivery_order
 
+    started = time.perf_counter()
     protocol = resolve_protocol(args.protocol)
-    result = verify_delivery_order(
-        protocol,
-        messages=args.messages,
-        capacity=args.capacity,
-        reorder_depth=args.reorder_depth,
-    )
+    config = {
+        "protocol": args.protocol,
+        "messages": args.messages,
+        "capacity": args.capacity,
+        "reorder_depth": args.reorder_depth,
+    }
+    with _maybe_traced(args, "verify", protocol.name, None, config) as tracer:
+        result = verify_delivery_order(
+            protocol,
+            messages=args.messages,
+            capacity=args.capacity,
+            reorder_depth=args.reorder_depth,
+        )
     scope = "exhaustive" if result.exhaustive else "TRUNCATED"
     kind = (
         "FIFO"
         if args.reorder_depth == 1
         else f"depth-{args.reorder_depth} reordering"
     )
-    print(
+    lines = [
         f"explored {result.states_explored} states ({scope}) for "
         f"{args.messages} messages over capacity-{args.capacity} "
         f"nondeterministic lossy {kind} channels"
-    )
+    ]
     if result.ok:
-        print("invariant holds: in-order, exactly-once delivery")
-        return 0
-    print("counterexample found:")
-    for index, action in enumerate(result.counterexample):
-        print(f"  {index}: {action}")
-    return 1
+        lines.append("invariant holds: in-order, exactly-once delivery")
+    else:
+        lines.append("counterexample found:")
+        lines.extend(
+            f"  {index}: {action}"
+            for index, action in enumerate(result.counterexample)
+        )
+    report = result.report(duration_s=time.perf_counter() - started)
+    report.details["reorder_depth"] = args.reorder_depth
+    report = _merge_trace(report, args, tracer)
+    return _emit(args, report, lines)
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis import run_all, to_markdown, to_text
 
+    started = time.perf_counter()
     tables = run_all(only=args.only or None)
     rendered = (
         to_markdown(tables) if args.format == "markdown" else to_text(tables)
     )
+    lines = []
+    report = RunReport(
+        command="experiments",
+        status=STATUS_OK,
+        counters={"experiments.tables": len(tables)},
+        duration_s=time.perf_counter() - started,
+        details={"experiments": [table.ident for table in tables]},
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
-        print(f"wrote {args.output}")
+        lines.append(f"wrote {args.output}")
+        report.artifacts["tables"] = args.output
     else:
-        print(rendered)
-    return 0
+        lines.append(rendered)
+    return _emit(args, report, lines)
 
 
 def cmd_growth(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
     protocol = resolve_protocol(args.protocol)
     series = measure_header_growth(
         protocol, checkpoints=tuple(args.checkpoints)
     )
-    print(f"{'messages':>8s} {'distinct headers':>16s}")
-    for point in series.points:
-        print(f"{point.messages:8d} {point.total_distinct:16d}")
-    print(f"slope: {series.slope_estimate():.2f} headers/message")
-    return 0
+    lines = [f"{'messages':>8s} {'distinct headers':>16s}"]
+    lines.extend(
+        f"{point.messages:8d} {point.total_distinct:16d}"
+        for point in series.points
+    )
+    slope = series.slope_estimate()
+    lines.append(f"slope: {slope:.2f} headers/message")
+    report = RunReport(
+        command="growth",
+        status=STATUS_OK,
+        counters={"growth.checkpoints": len(series.points)},
+        duration_s=time.perf_counter() - started,
+        details={
+            "protocol": protocol.name,
+            "slope": slope,
+            "points": [
+                {
+                    "messages": point.messages,
+                    "distinct_headers": point.total_distinct,
+                }
+                for point in series.points
+            ],
+        },
+    )
+    return _emit(args, report, lines)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    import json
-
     from .lint import RULES, lint_targets, target_from, zoo_targets
 
+    started = time.perf_counter()
     if args.list_codes:
-        for rule in RULES.values():
-            print(
-                f"{rule.code}  {rule.severity:7s} {rule.name:32s} "
-                f"paper {rule.paper:10s} {rule.summary}"
-            )
-        return 0
+        lines = [
+            f"{rule.code}  {rule.severity:7s} {rule.name:32s} "
+            f"paper {rule.paper:10s} {rule.summary}"
+            for rule in RULES.values()
+        ]
+        report = RunReport(
+            command="lint",
+            status=STATUS_OK,
+            counters={"lint.rules": len(RULES)},
+            details={
+                "rules": {
+                    rule.code: rule.summary for rule in RULES.values()
+                }
+            },
+        )
+        return _emit(args, report, lines)
 
     if args.module:
         import importlib
@@ -299,30 +523,128 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         targets = zoo_targets()
 
-    report = lint_targets(
+    lint_report = lint_targets(
         targets,
         messages=args.messages,
         max_states=args.max_states,
     )
     if args.select:
-        report = report.select(args.select)
+        lint_report = lint_report.select(args.select)
 
-    rendered = (
-        json.dumps(report.to_dict(), indent=2)
-        if args.format == "json"
-        else report.render_text()
+    report = lint_report.report(
+        duration_s=time.perf_counter() - started
     )
+    rendered = (
+        json.dumps(lint_report.to_dict(), indent=2)
+        if args.format == "json"
+        else lint_report.render_text()
+    )
+    lines: List[str] = []
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
-        summary = report.summary()
-        print(
+        summary = lint_report.summary()
+        lines.append(
             f"wrote {args.output}: {summary['findings']} finding(s) "
             f"across {summary['targets']} target(s)"
         )
+        report.artifacts["report"] = args.output
     else:
-        print(rendered)
-    return 0 if report.ok else 1
+        lines.append(rendered)
+    return _emit(args, report, lines)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    try:
+        events = read_events(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        report = RunReport(
+            command="trace",
+            status=STATUS_ERROR,
+            details={"file": args.file, "error": str(exc)},
+        )
+        return _emit(args, report, [f"cannot read trace: {exc}"])
+    by_kind: Dict[str, int] = {}
+    counters: Dict[str, float] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        if event.kind == "counter":
+            counters[event.name] = counters.get(event.name, 0) + (
+                event.value or 0
+            )
+        elif event.kind == "span_end":
+            entry = spans.setdefault(
+                event.name, {"count": 0, "total_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += event.value or 0.0
+    counters = {
+        name: int(total) if float(total).is_integer() else total
+        for name, total in counters.items()
+    }
+    manifest = RunManifest.find(events)
+    lines = [f"{args.file}: {len(events)} events"]
+    if manifest is not None:
+        lines.append(
+            f"manifest: command={manifest.command} "
+            f"protocol={manifest.protocol} seed={manifest.seed} "
+            f"config_hash={manifest.config_hash} "
+            f"wall={manifest.wall_s:.3f}s cpu={manifest.cpu_s:.3f}s "
+            f"status={manifest.status}"
+        )
+    if spans:
+        lines.append("spans:")
+        for name in sorted(spans):
+            entry = spans[name]
+            lines.append(
+                f"  {name:24s} x{int(entry['count']):<6d} "
+                f"total {entry['total_s']:.6f}s"
+            )
+    if counters:
+        lines.append("counters:")
+        lines.extend(
+            f"  {name:32s} {counters[name]:g}" for name in sorted(counters)
+        )
+    details: Dict[str, object] = {
+        "file": args.file,
+        "events": len(events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "spans": {name: spans[name] for name in sorted(spans)},
+    }
+    if manifest is not None:
+        details["manifest"] = manifest.to_dict()
+    report = RunReport(
+        command="trace",
+        status=STATUS_OK,
+        counters=counters,
+        duration_s=time.perf_counter() - started,
+        details=details,
+    )
+    return _emit(args, report, lines)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the unified RunReport envelope instead of text",
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="record the structured event stream (plus a run manifest) "
+        "to this JSONL file",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -335,14 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available protocols").set_defaults(
-        run=cmd_list
-    )
+    listing = sub.add_parser("list", help="list available protocols")
+    _add_json_flag(listing)
+    listing.set_defaults(run=cmd_list)
 
     check = sub.add_parser(
         "check", help="run the theorem-hypothesis checkers"
     )
     check.add_argument("protocol")
+    _add_json_flag(check)
     check.set_defaults(run=cmd_check)
 
     crash = sub.add_parser(
@@ -350,7 +673,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("protocol")
     crash.add_argument("--message-size", type=int, default=0)
-    crash.add_argument("--json", action="store_true")
+    _add_json_flag(crash)
+    _add_trace_flag(crash)
     crash.set_defaults(run=cmd_refute_crash)
 
     headers = sub.add_parser(
@@ -359,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
     headers.add_argument("protocol")
     headers.add_argument("--k", type=int, default=None)
     headers.add_argument("--message-size", type=int, default=0)
-    headers.add_argument("--json", action="store_true")
+    _add_json_flag(headers)
+    _add_trace_flag(headers)
     headers.set_defaults(run=cmd_refute_headers)
 
     simulate = sub.add_parser(
@@ -383,6 +708,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the run as a message sequence chart",
     )
+    _add_json_flag(simulate)
+    _add_trace_flag(simulate)
     simulate.set_defaults(run=cmd_simulate)
 
     verify = sub.add_parser(
@@ -398,6 +725,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="delivery displacement bound (1 = FIFO)",
     )
+    _add_json_flag(verify)
+    _add_trace_flag(verify)
     verify.set_defaults(run=cmd_verify)
 
     experiments = sub.add_parser(
@@ -413,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "markdown"], default="text"
     )
     experiments.add_argument("--output", help="write to a file")
+    _add_json_flag(experiments)
     experiments.set_defaults(run=cmd_experiments)
 
     growth = sub.add_parser(
@@ -425,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[1, 2, 4, 8, 16, 32],
     )
+    _add_json_flag(growth)
     growth.set_defaults(run=cmd_growth)
 
     lint = sub.add_parser(
@@ -467,7 +798,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    _add_json_flag(lint)
     lint.set_defaults(run=cmd_lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a JSONL trace written by --trace",
+    )
+    trace.add_argument("file")
+    _add_json_flag(trace)
+    trace.set_defaults(run=cmd_trace)
 
     return parser
 

@@ -18,6 +18,7 @@ from typing import Dict, Tuple
 
 from ..ioa.actions import Action
 from ..datalink.modules import wdl_module
+from ..obs import STATUS_OK, STATUS_VIOLATION, RunReport
 
 # Certificate kinds.
 DUPLICATE_DELIVERY = "duplicate-delivery"  # violates (DL4)
@@ -103,6 +104,34 @@ class ViolationCertificate:
             "stats": dict(self.stats),
             "validated": self.validate(),
         }
+
+    def report(self, duration_s: float = 0.0) -> RunReport:
+        """This certificate as the unified :class:`~repro.obs.RunReport`.
+
+        Status ``ok`` means the construction succeeded *and* the
+        certificate re-validated against the independent trace checkers
+        -- finding the violation is the engines' job.  A certificate
+        that fails validation reports ``violation`` (an engine bug, not
+        a protocol one).
+        """
+        command = (
+            "refute-crash"
+            if self.theorem == "theorem-7.5"
+            else "refute-headers"
+        )
+        validated = self.validate()
+        counters = {
+            f"refute.{name}": value
+            for name, value in sorted(self.stats.items())
+        }
+        counters["refute.behavior_length"] = len(self.behavior)
+        return RunReport(
+            command=command,
+            status=STATUS_OK if validated else STATUS_VIOLATION,
+            counters=counters,
+            duration_s=duration_s,
+            details=self.to_dict(),
+        )
 
     def describe(self) -> str:
         """Human-readable rendering of the certificate."""

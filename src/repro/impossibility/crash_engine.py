@@ -70,6 +70,7 @@ from ..datalink.message_independence import (
     states_equivalent,
 )
 from ..datalink.protocol import DataLinkProtocol
+from ..obs import current_tracer
 from ..sim.network import DataLinkSystem, fifo_system
 from .certificates import (
     DUPLICATE_DELIVERY,
@@ -375,6 +376,9 @@ class CrashImpossibilityEngine:
         self.stats["replayed_steps"] = self.stats.get(
             "replayed_steps", 0
         ) + len(reference_actions)
+        current_tracer().count(
+            "refute.replayed_steps", len(reference_actions)
+        )
         return sent, bindings
 
     def _select_waiting(
@@ -485,6 +489,13 @@ class CrashImpossibilityEngine:
 
     def run(self) -> ViolationCertificate:
         """Execute the Theorem 7.5 construction; returns the certificate."""
+        tracer = current_tracer()
+        with tracer.span(
+            "refute.crash", protocol=self.protocol.name
+        ):
+            return self._run(tracer)
+
+    def _run(self, tracer) -> ViolationCertificate:
         early = self._build_reference()
         if early is not None:
             return early
@@ -508,12 +519,17 @@ class CrashImpossibilityEngine:
         }
         last_bindings: Dict[Message, Message] = {}
         for side, k in levels:
-            expected = self._in_packets(self.alpha, side, k)
-            self._select_waiting(side, expected, available[side])
-            sent, bindings = self._crash_and_replay(side, k)
+            with tracer.span("refute.round", station=side, k=k):
+                expected = self._in_packets(self.alpha, side, k)
+                self._select_waiting(side, expected, available[side])
+                sent, bindings = self._crash_and_replay(side, k)
             available[self._other(side)] = sent
             if side == self.t:
                 last_bindings = bindings
+            if tracer.enabled:
+                tracer.count("refute.crash_injections")
+                tracer.count("refute.packets_consumed", len(expected))
+                tracer.count("refute.packets_sent", len(sent))
             self.narrative.append(
                 f"level ({side},{k}): crashed {side}, replayed "
                 f"{k} reference steps, consumed {len(expected)} packets, "

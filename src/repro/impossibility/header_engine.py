@@ -50,6 +50,7 @@ from ..datalink.actions import RECEIVE_MSG, SEND_MSG
 from ..datalink.message_independence import equivalent, packet_class
 from ..datalink.properties import is_valid_sequence
 from ..datalink.protocol import DataLinkProtocol
+from ..obs import current_tracer
 from ..sim.network import DataLinkSystem, permissive_system
 from .certificates import (
     DUPLICATE_DELIVERY,
@@ -331,6 +332,13 @@ class BoundedHeaderEngine:
 
     def run(self) -> ViolationCertificate:
         """Execute the Theorem 8.5 construction; returns the certificate."""
+        tracer = current_tracer()
+        with tracer.span(
+            "refute.headers", protocol=self.protocol.name
+        ):
+            return self._run(tracer)
+
+    def _run(self, tracer) -> ViolationCertificate:
         system = self.system
         self.fragment = system.run_inputs(
             system.initial_state(), [system.wake_t(), system.wake_r()]
@@ -346,47 +354,56 @@ class BoundedHeaderEngine:
                     "the header classes; the protocol appears not to be "
                     f"{k}-bounded with bounded headers"
                 )
-            message = self.factory.fresh(self.message_size)
-            probe = self._probe_delivery(message)
-            observed = len(probe.received)
-            if self.declared_k is None and observed > k:
-                k = observed  # adaptive k: the largest packet_set seen
-            elif observed > k:
-                raise EngineError(
-                    f"protocol used {observed} packets to deliver "
-                    f"{message}, exceeding the declared k={k}"
+            with tracer.span(
+                "refute.round", round=rounds, transit=len(transit)
+            ):
+                message = self.factory.fresh(self.message_size)
+                probe = self._probe_delivery(message)
+                if tracer.enabled:
+                    tracer.count("refute.probes")
+                    tracer.gauge("refute.transit_packets", len(transit))
+                observed = len(probe.received)
+                if self.declared_k is None and observed > k:
+                    k = observed  # adaptive k: the largest packet_set seen
+                elif observed > k:
+                    raise EngineError(
+                        f"protocol used {observed} packets to deliver "
+                        f"{message}, exceeding the declared k={k}"
+                    )
+                images = self._build_injection(probe, transit)
+                if images is not None:
+                    self.stats["pump_rounds"] = rounds
+                    self.stats["transit_packets"] = len(transit)
+                    self.stats["k"] = k
+                    self.narrative.append(
+                        f"after {rounds} pumping rounds, T holds "
+                        f"{len(transit)} packets saturating every class of "
+                        f"packet_set({message}); replaying the receiver "
+                        "against T (Theorem 8.5)"
+                    )
+                    self._replay_receiver(probe, images)
+                    break
+                # Case 2 of Lemma 8.3: grow T by one under-represented
+                # packet.
+                counts: Dict[Tuple, int] = {}
+                for entry in transit:
+                    counts[entry.cls] = counts.get(entry.cls, 0) + 1
+                p0 = next(
+                    p
+                    for p in probe.received
+                    if counts.get(packet_class(p), 0) < k
                 )
-            images = self._build_injection(probe, transit)
-            if images is not None:
-                self.stats["pump_rounds"] = rounds
-                self.stats["transit_packets"] = len(transit)
-                self.stats["k"] = k
+                entry = self._pump_round(probe, p0)
+                transit.append(entry)
+                rounds += 1
+                if tracer.enabled:
+                    tracer.count("refute.pump_rounds")
+                self._assert_valid(f"after pumping round {rounds}")
                 self.narrative.append(
-                    f"after {rounds} pumping rounds, T holds "
-                    f"{len(transit)} packets saturating every class of "
-                    f"packet_set({message}); replaying the receiver "
-                    "against T (Theorem 8.5)"
+                    f"round {rounds}: delivered {message} while keeping a "
+                    f"{packet_class(p0)[0]!r} packet in transit "
+                    f"(|T| = {len(transit)})"
                 )
-                self._replay_receiver(probe, images)
-                break
-            # Case 2 of Lemma 8.3: grow T by one under-represented packet.
-            counts: Dict[Tuple, int] = {}
-            for entry in transit:
-                counts[entry.cls] = counts.get(entry.cls, 0) + 1
-            p0 = next(
-                p
-                for p in probe.received
-                if counts.get(packet_class(p), 0) < k
-            )
-            entry = self._pump_round(probe, p0)
-            transit.append(entry)
-            rounds += 1
-            self._assert_valid(f"after pumping round {rounds}")
-            self.narrative.append(
-                f"round {rounds}: delivered {message} while keeping a "
-                f"{packet_class(p0)[0]!r} packet in transit "
-                f"(|T| = {len(transit)})"
-            )
 
         # Fair extension with no inputs, then classify.
         try:

@@ -23,6 +23,7 @@ from statistics import median
 from typing import Dict, Iterable, Optional, Tuple
 
 DEFAULT_PATH = os.path.join("bench", "BENCH_explore.json")
+TRACE_PATH = os.path.join("bench", "BENCH_explore_trace.jsonl")
 
 #: (protocol key, factory-name, messages, capacity, reorder_depth)
 DEFAULT_CASES: Tuple[Tuple[str, str, int, int, int], ...] = (
@@ -78,7 +79,7 @@ def run_bench(
     ``truncated`` flag, so a benchmark run is also a differential test.
     """
     from repro.analysis.model_check import build_closed_system
-    from repro.ioa.explorer import explore, explore_reference
+    from repro.ioa.explorer import explore
 
     report: Dict = {
         "generated_by": "repro.ioa.engine.bench",
@@ -111,11 +112,19 @@ def run_bench(
                 workers=workers,
             )
 
+        def reference_fn(composition, invariant, max_depth):
+            return explore(
+                composition,
+                invariant=invariant,
+                max_depth=max_depth,
+                engine="reference",
+            )
+
         engine_seconds, engine_result = _time_explore(
             engine_fn, build_system, repeats
         )
         reference_seconds, reference_result = _time_explore(
-            explore_reference,
+            reference_fn,
             lambda: build_system(memoize=False),
             repeats,
         )
@@ -147,6 +156,57 @@ def run_bench(
         }
     report["median_speedup"] = round(median(speedups), 2)
     return report
+
+
+def write_bench_trace(
+    path: str = TRACE_PATH,
+    case: Tuple[str, str, int, int, int] = DEFAULT_CASES[0],
+    workers: Optional[int] = None,
+) -> Dict:
+    """Run one benchmark exploration under full tracing.
+
+    Writes the exploration's structured event stream (layer spans,
+    intern/memo counters, frontier gauges) plus the closing run
+    manifest to ``path`` as JSONL — the artifact CI uploads so a perf
+    regression can be diagnosed from the trace, not just the number.
+    """
+    from repro.analysis.model_check import build_closed_system
+    from repro.ioa.explorer import explore
+    from repro.obs import trace_run
+
+    key, spec, messages, capacity, reorder_depth = case
+    composition, invariant, _ = build_closed_system(
+        _protocol_factory(spec)(),
+        messages=messages,
+        capacity=capacity,
+        reorder_depth=reorder_depth,
+    )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with trace_run(
+        path,
+        command="bench-explore",
+        protocol=key,
+        config={
+            "messages": messages,
+            "capacity": capacity,
+            "reorder_depth": reorder_depth,
+            "workers": workers,
+        },
+    ) as tracer:
+        result = explore(
+            composition,
+            invariant=invariant,
+            max_depth=10_000_000,
+            workers=workers,
+        )
+    return {
+        "path": path,
+        "protocol": key,
+        "states": len(result.states),
+        "counters": tracer.snapshot_counters(),
+    }
 
 
 def write_bench_json(

@@ -51,6 +51,7 @@ from typing import (
     Tuple,
 )
 
+from ...obs import current_tracer
 from ..actions import Action
 from ..automaton import Automaton, State
 from ..composition import Composition
@@ -97,6 +98,22 @@ class ExplorationResult:
     @property
     def ok(self) -> bool:
         return self.violation is None
+
+    def report(self, duration_s: float = 0.0) -> "RunReport":
+        """This result as the unified :class:`~repro.obs.RunReport`."""
+        from ...obs import STATUS_OK, STATUS_VIOLATION, RunReport
+
+        details: Dict[str, object] = {"truncated": self.truncated}
+        if self.violation is not None:
+            _, trace = self.violation
+            details["counterexample"] = [str(action) for action in trace]
+        return RunReport(
+            command="explore",
+            status=STATUS_OK if self.ok else STATUS_VIOLATION,
+            counters={"explore.states": len(self.states)},
+            duration_s=duration_s,
+            details=details,
+        )
 
 
 def explore_engine(
@@ -162,46 +179,64 @@ def _explore_generic(
     truncated = False
     transitions = automaton.transitions
     enabled = automaton.enabled_local_actions
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count("explore.states", 1)  # the start state
     while layer:
         if depth >= max_depth:
             truncated = True
             break
-        next_layer: List[State] = []
-        for state in layer:
-            actions: List[Action] = list(enabled(state))
-            if environment is not None:
-                offered = list(environment(state))
-                if signature is not None:
-                    for action in offered:
-                        if signature.is_input(action) and not transitions(
-                            state, action
+        # Instrumentation is per-layer, never per-state: one span plus
+        # three aggregate emissions per BFS layer (no-ops when tracing
+        # is off), so the hot successor loop stays untouched.
+        with tracer.span("explore.layer", depth=depth, width=len(layer)):
+            next_layer: List[State] = []
+            fired = 0
+            for state in layer:
+                actions: List[Action] = list(enabled(state))
+                if environment is not None:
+                    offered = list(environment(state))
+                    if signature is not None:
+                        for action in offered:
+                            if signature.is_input(
+                                action
+                            ) and not transitions(state, action):
+                                raise InputEnablednessError(
+                                    automaton, state, action
+                                )
+                    actions.extend(offered)
+                for action in actions:
+                    for successor in transitions(state, action):
+                        fired += 1
+                        if successor in parents:
+                            continue
+                        parents[successor] = (state, action)
+                        if invariant is not None and not invariant(
+                            successor
                         ):
-                            raise InputEnablednessError(
-                                automaton, state, action
+                            return ExplorationResult(
+                                set(parents),
+                                truncated,
+                                (
+                                    successor,
+                                    _reconstruct(parents, successor),
+                                ),
                             )
-                actions.extend(offered)
-            for action in actions:
-                for successor in transitions(state, action):
-                    if successor in parents:
-                        continue
-                    parents[successor] = (state, action)
-                    if invariant is not None and not invariant(successor):
-                        return ExplorationResult(
-                            set(parents),
-                            truncated,
-                            (successor, _reconstruct(parents, successor)),
-                        )
-                    if len(parents) > max_states:
-                        # Budget spent: stop the whole search at once
-                        # (see module docstring for the contract).
-                        del parents[successor]
-                        truncated = True
+                        if len(parents) > max_states:
+                            # Budget spent: stop the whole search at once
+                            # (see module docstring for the contract).
+                            del parents[successor]
+                            truncated = True
+                            break
+                        next_layer.append(successor)
+                    if truncated:
                         break
-                    next_layer.append(successor)
                 if truncated:
                     break
-            if truncated:
-                break
+            if tracer.enabled:
+                tracer.count("explore.transitions", fired)
+                tracer.count("explore.states", len(next_layer))
+                tracer.gauge("explore.frontier", len(next_layer))
         if truncated:
             break
         layer = next_layer
@@ -363,6 +398,10 @@ class _CompositionSearch:
         start = self.composition.initial_state()
         if invariant is not None and not invariant(start):
             return ExplorationResult({start}, False, (start, ()))
+        tracer = current_tracer()
+        if tracer.enabled:
+            self._install_memo_counters()
+            tracer.count("explore.states", 1)  # the start state
         start_enc = self.encode(start)
         # Encoded parent pointers: enc -> (predecessor enc, action token).
         parents: Dict[Tuple[int, ...], Optional[Tuple]] = {start_enc: None}
@@ -375,49 +414,99 @@ class _CompositionSearch:
             if depth >= max_depth:
                 truncated = True
                 break
-            next_layer: List[Tuple[int, ...]] = []
-            for encoded in layer:
-                if environment is not None:
-                    current = decode(encoded)
-                    extra = list(environment(current))
-                    if signature is not None:
-                        for action in extra:
-                            if signature.is_input(
-                                action
-                            ) and not self.composition.transitions(
-                                current, action
-                            ):
-                                raise InputEnablednessError(
-                                    self.composition, current, action
+            # One span + aggregate counters per layer (no-op when
+            # tracing is off); the per-state expansion loop is untouched.
+            with tracer.span(
+                "explore.layer", depth=depth, width=len(layer)
+            ):
+                next_layer: List[Tuple[int, ...]] = []
+                fired = 0
+                for encoded in layer:
+                    if environment is not None:
+                        current = decode(encoded)
+                        extra = list(environment(current))
+                        if signature is not None:
+                            for action in extra:
+                                if signature.is_input(
+                                    action
+                                ) and not self.composition.transitions(
+                                    current, action
+                                ):
+                                    raise InputEnablednessError(
+                                        self.composition, current, action
+                                    )
+                    else:
+                        extra = ()
+                    for token, succ_enc in expand(encoded, extra):
+                        fired += 1
+                        if succ_enc in parents:
+                            continue
+                        parents[succ_enc] = (encoded, token)
+                        if invariant is not None:
+                            real = decode(succ_enc)
+                            if not invariant(real):
+                                self._emit_totals(tracer)
+                                return ExplorationResult(
+                                    self._decode_all(parents),
+                                    truncated,
+                                    (real, self._trace(parents, succ_enc)),
                                 )
-                else:
-                    extra = ()
-                for token, succ_enc in expand(encoded, extra):
-                    if succ_enc in parents:
-                        continue
-                    parents[succ_enc] = (encoded, token)
-                    if invariant is not None:
-                        real = decode(succ_enc)
-                        if not invariant(real):
-                            return ExplorationResult(
-                                self._decode_all(parents),
-                                truncated,
-                                (real, self._trace(parents, succ_enc)),
-                            )
-                    if len(parents) > max_states:
-                        # Budget spent: break out of every loop at once
-                        # (module docstring documents the contract).
-                        del parents[succ_enc]
-                        truncated = True
+                        if len(parents) > max_states:
+                            # Budget spent: break out of every loop at once
+                            # (module docstring documents the contract).
+                            del parents[succ_enc]
+                            truncated = True
+                            break
+                        next_layer.append(succ_enc)
+                    if truncated:
                         break
-                    next_layer.append(succ_enc)
-                if truncated:
-                    break
+                if tracer.enabled:
+                    tracer.count("explore.transitions", fired)
+                    tracer.count("explore.states", len(next_layer))
+                    tracer.gauge("explore.frontier", len(next_layer))
             if truncated:
                 break
             layer = next_layer
             depth += 1
+        self._emit_totals(tracer)
         return ExplorationResult(self._decode_all(parents), truncated)
+
+    # -- observability (only active under an enabled tracer) ------------
+
+    def _install_memo_counters(self) -> None:
+        """Shadow the cached-query methods with counting wrappers.
+
+        Installed per-instance and only when tracing is on, so the
+        tracing-off hot path carries no extra branches or increments.
+        """
+        self._step_queries = 0
+        self._step_hits = 0
+        inner = self._successor_sids
+
+        def counting(slot: int, sid: int, token: int) -> Tuple[int, ...]:
+            self._step_queries += 1
+            if token in self.steps_by_sid[slot][sid]:
+                self._step_hits += 1
+            return inner(slot, sid, token)
+
+        self._successor_sids = counting  # type: ignore[method-assign]
+
+    def _emit_totals(self, tracer) -> None:
+        """Counters/gauges summarizing the interning and memo caches."""
+        if not tracer.enabled:
+            return
+        tracer.count(
+            "explore.slices_interned",
+            sum(len(table.values) for table in self.slice_tables),
+        )
+        tracer.count("explore.actions_interned", len(self.action_of_token))
+        queries = getattr(self, "_step_queries", 0)
+        if queries:
+            tracer.gauge(
+                "explore.memo_hit_rate", self._step_hits / queries
+            )
+            tracer.count("explore.memo_queries", queries)
+            tracer.count("explore.memo_hits", self._step_hits)
 
     def _trace(
         self, parents: Dict, encoded: Tuple[int, ...]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ...obs import current_tracer
 from ..actions import Action
 from ..automaton import Automaton, State
 from .core import (
@@ -99,36 +100,58 @@ def explore_parallel(
                 )
             except OSError:  # pragma: no cover - fork denied
                 pool = None
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("explore.states", 1)  # the start state
         while layer:
             if depth >= max_depth:
                 truncated = True
                 break
-            if pool is not None and len(layer) >= parallel_threshold:
-                chunksize = max(1, len(layer) // (workers * 4))
-                edge_lists = pool.map(_expand_one, layer, chunksize)
-            else:
-                edge_lists = (
-                    _edges(automaton, environment, state) for state in layer
-                )
-            next_layer: List[State] = []
-            for state, edges in zip(layer, edge_lists):
-                for action, successor in edges:
-                    if successor in parents:
-                        continue
-                    parents[successor] = (state, action)
-                    if invariant is not None and not invariant(successor):
-                        return ExplorationResult(
-                            set(parents),
-                            truncated,
-                            (successor, _reconstruct(parents, successor)),
-                        )
-                    if len(parents) > max_states:
-                        del parents[successor]
-                        truncated = True
+            sharded = pool is not None and len(layer) >= parallel_threshold
+            with tracer.span(
+                "explore.layer",
+                depth=depth,
+                width=len(layer),
+                mode="parallel" if sharded else "serial",
+            ):
+                if sharded:
+                    chunksize = max(1, len(layer) // (workers * 4))
+                    edge_lists = pool.map(_expand_one, layer, chunksize)
+                else:
+                    edge_lists = (
+                        _edges(automaton, environment, state)
+                        for state in layer
+                    )
+                next_layer: List[State] = []
+                fired = 0
+                for state, edges in zip(layer, edge_lists):
+                    for action, successor in edges:
+                        fired += 1
+                        if successor in parents:
+                            continue
+                        parents[successor] = (state, action)
+                        if invariant is not None and not invariant(
+                            successor
+                        ):
+                            return ExplorationResult(
+                                set(parents),
+                                truncated,
+                                (
+                                    successor,
+                                    _reconstruct(parents, successor),
+                                ),
+                            )
+                        if len(parents) > max_states:
+                            del parents[successor]
+                            truncated = True
+                            break
+                        next_layer.append(successor)
+                    if truncated:
                         break
-                    next_layer.append(successor)
-                if truncated:
-                    break
+                if tracer.enabled:
+                    tracer.count("explore.transitions", fired)
+                    tracer.count("explore.states", len(next_layer))
+                    tracer.gauge("explore.frontier", len(next_layer))
             if truncated:
                 break
             layer = next_layer

@@ -11,9 +11,11 @@ rewrite it delegates to :mod:`repro.ioa.engine`, which keeps trace-free
 parent-pointer frontiers, interns composed states, memoizes component
 stepping, and (with ``workers > 1``) shards each BFS layer across a
 process pool.  The original naive breadth-first search is preserved
-verbatim as :func:`explore_reference`: it is the differential-testing
-oracle the engine is validated against, and the ground truth for the
-result contract.
+verbatim behind ``explore(engine="reference")``: it is the
+differential-testing oracle the engine is validated against, and the
+ground truth for the result contract.  The old public name
+:func:`explore_reference` survives as a thin shim that emits a
+:class:`DeprecationWarning`.
 
 Budget contract (both explorers): when the ``max_states`` budget is
 reached the search stops immediately -- no further successors of the
@@ -25,8 +27,10 @@ truncated run.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, List, Optional, Set
 
+from ..obs import current_tracer
 from .actions import Action
 from .automaton import Automaton, State
 from .engine.core import (
@@ -52,6 +56,7 @@ def explore(
     max_depth: int = 10_000,
     workers: Optional[int] = None,
     validate: bool = False,
+    engine: str = "auto",
 ) -> ExplorationResult:
     """Breadth-first exploration of reachable states.
 
@@ -75,7 +80,39 @@ def explore(
     no transition, :class:`InputEnablednessError` is raised (this is
     ``Automaton.check_input_enabled`` wired into the engine).  Validation
     runs serially -- ``workers`` is ignored when it is on.
+
+    ``engine`` selects the backend: ``"auto"`` (the default) is the
+    high-throughput engine; ``"reference"`` is the original naive BFS
+    kept verbatim as the differential-testing oracle (serial only --
+    ``workers`` and ``validate`` are not supported with it).
     """
+    if engine == "reference":
+        if validate:
+            raise ValueError(
+                "validate=True is not supported by the reference "
+                "explorer; use the default engine"
+            )
+        if workers is not None and workers > 1:
+            raise ValueError(
+                "workers > 1 is not supported by the reference explorer"
+            )
+        result = _explore_reference(
+            automaton,
+            environment=environment or (lambda _: ()),
+            invariant=invariant,
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+        # The oracle body stays uninstrumented (it is the verbatim
+        # baseline); the dispatcher reports its one headline figure.
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("explore.states", len(result.states))
+        return result
+    if engine != "auto":
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'auto' or 'reference'"
+        )
     if validate:
         return explore_engine(
             automaton,
@@ -106,6 +143,35 @@ def explore(
 
 
 def explore_reference(
+    automaton: Automaton,
+    environment: Callable[[State], Iterable[Action]] = lambda _: (),
+    invariant: Optional[Callable[[State], bool]] = None,
+    max_states: int = 50_000,
+    max_depth: int = 10_000,
+) -> ExplorationResult:
+    """Deprecated alias for ``explore(engine="reference")``.
+
+    The reference explorer is an engine *backend* now, not a second
+    public entry point; this shim keeps old call sites working while
+    they migrate.
+    """
+    warnings.warn(
+        "explore_reference is deprecated; call "
+        "explore(..., engine='reference') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return explore(
+        automaton,
+        environment=environment,
+        invariant=invariant,
+        max_states=max_states,
+        max_depth=max_depth,
+        engine="reference",
+    )
+
+
+def _explore_reference(
     automaton: Automaton,
     environment: Callable[[State], Iterable[Action]] = lambda _: (),
     invariant: Optional[Callable[[State], bool]] = None,

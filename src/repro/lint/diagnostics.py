@@ -108,6 +108,25 @@ class LintReport:
             "summary": self.summary(),
         }
 
+    def report(self, duration_s: float = 0.0):
+        """This lint run as the unified :class:`~repro.obs.RunReport`."""
+        from ..obs import STATUS_FINDINGS, STATUS_OK, RunReport
+
+        summary = self.summary()
+        counters = {
+            "lint.targets": summary["targets"],
+            "lint.findings": summary["findings"],
+        }
+        for code, count in summary["by_code"].items():
+            counters[f"lint.{code}"] = count
+        return RunReport(
+            command="lint",
+            status=STATUS_OK if self.ok else STATUS_FINDINGS,
+            counters=counters,
+            duration_s=duration_s,
+            details=self.to_dict(),
+        )
+
     def render_text(self) -> str:
         lines = [d.render() for d in self.diagnostics]
         summary = self.summary()

@@ -1,0 +1,90 @@
+"""Observability core: structured tracing, counters, and run reports.
+
+This package is the repo's single event vocabulary.  The paper's
+arguments live entirely in executions and schedules; the runtimes that
+manipulate them (the exploration engine, the fair simulation runner,
+the impossibility engines) emit their progress through one process-wide
+:class:`Tracer` so any run can be timed, correlated, and replayed from
+its event stream.
+
+Zero dependencies, and zero imports from the rest of :mod:`repro`: the
+engine/sim/impossibility layers import *us*, never the reverse.
+
+Event model
+-----------
+
+* **Spans** -- named intervals (``explore.layer``, ``sim.step``,
+  ``refute.round``) with nesting via parent ids and a recorded
+  duration.
+* **Counters** -- monotonically accumulated totals (states interned,
+  transitions fired, packets dropped, crash injections).
+* **Gauges** -- point-in-time measurements (frontier width, memo
+  hit-rate).
+* **Points** -- one-off annotations.
+* **Manifest** -- a final summary record (seed, config hash, wall/CPU
+  time, counter totals) closing a traced run.
+
+The process-wide tracer defaults to a *disabled* instance whose
+``enabled`` flag instrumentation sites check before doing any work, so
+tracing-off runs pay one attribute load per instrumented region.
+Install sinks with :func:`tracing` (or :func:`trace_run`, which also
+emits the manifest)::
+
+    with tracing(JSONLSink("run.jsonl")) as tracer:
+        explore(system, invariant=inv)
+    events = read_events("run.jsonl")
+
+Run reports
+-----------
+
+:class:`RunReport` is the unified result envelope every CLI subcommand
+prints under ``--json`` and every result object exposes via a
+``.report()`` method: ``{"command", "status", "counters",
+"duration_s", "details"}``.
+"""
+
+from .events import (
+    COUNTER,
+    GAUGE,
+    MANIFEST,
+    POINT,
+    SPAN_END,
+    SPAN_START,
+    Event,
+)
+from .manifest import RunManifest, config_hash, trace_run
+from .report import (
+    STATUS_ERROR,
+    STATUS_FINDINGS,
+    STATUS_OK,
+    STATUS_VIOLATION,
+    RunReport,
+)
+from .sinks import JSONLSink, MemorySink, TextSink, read_events
+from .tracer import Tracer, current_tracer, set_tracer, tracing
+
+__all__ = [
+    "COUNTER",
+    "GAUGE",
+    "MANIFEST",
+    "POINT",
+    "SPAN_END",
+    "SPAN_START",
+    "Event",
+    "JSONLSink",
+    "MemorySink",
+    "RunManifest",
+    "RunReport",
+    "STATUS_ERROR",
+    "STATUS_FINDINGS",
+    "STATUS_OK",
+    "STATUS_VIOLATION",
+    "TextSink",
+    "Tracer",
+    "config_hash",
+    "current_tracer",
+    "read_events",
+    "set_tracer",
+    "trace_run",
+    "tracing",
+]

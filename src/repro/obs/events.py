@@ -1,0 +1,79 @@
+"""Structured trace events.
+
+One flat record type covers the whole vocabulary -- span start/end,
+counter increments, gauges, point annotations, and the closing run
+manifest -- so sinks stay format-agnostic and a JSONL stream round-trips
+to an identical event sequence (see ``tests/obs/test_sinks.py``).
+
+Timestamps are seconds since the owning tracer's epoch (a
+``perf_counter`` origin captured at tracer construction), not wall
+clock: they order and measure, they do not date.  ``fields`` values
+must be JSON-safe (strings, numbers, booleans, None, and lists/dicts
+thereof); instrumentation sites stringify anything richer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+# Event kinds.
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+COUNTER = "counter"
+GAUGE = "gauge"
+POINT = "point"
+MANIFEST = "manifest"
+
+KINDS = (SPAN_START, SPAN_END, COUNTER, GAUGE, POINT, MANIFEST)
+
+
+@dataclass
+class Event:
+    """One trace record.
+
+    ``value`` carries the counter increment, the gauge reading, or the
+    span duration (on ``span_end``); ``span``/``parent`` link span
+    events into a tree.  Equality is field-wise, which is what the
+    round-trip tests rely on.
+    """
+
+    kind: str
+    name: str
+    at: float
+    value: Optional[float] = None
+    span: Optional[int] = None
+    parent: Optional[int] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Compact JSON form: optional keys are omitted when unset."""
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "name": self.name,
+            "at": self.at,
+        }
+        if self.value is not None:
+            record["value"] = self.value
+        if self.span is not None:
+            record["span"] = self.span
+        if self.parent is not None:
+            record["parent"] = self.parent
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Event":
+        kind = record["kind"]
+        if kind not in KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return cls(
+            kind=kind,  # type: ignore[arg-type]
+            name=record["name"],  # type: ignore[arg-type]
+            at=float(record["at"]),  # type: ignore[arg-type]
+            value=record.get("value"),  # type: ignore[arg-type]
+            span=record.get("span"),  # type: ignore[arg-type]
+            parent=record.get("parent"),  # type: ignore[arg-type]
+            fields=dict(record.get("fields", {})),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,88 @@
+"""The unified run-report envelope.
+
+Every runtime in this repo -- exploration, exhaustive verification,
+scenario simulation, the impossibility engines, the lint driver --
+historically returned its own result shape, and the CLI printed four
+different JSON dialects.  :class:`RunReport` is the one schema they all
+map onto: result objects expose ``.report()`` and every CLI subcommand
+prints ``report.to_dict()`` under ``--json``::
+
+    {
+      "command": "verify",
+      "status": "ok",
+      "counters": {"explore.states": 11439},
+      "duration_s": 0.81,
+      "details": {...command-specific...}
+    }
+
+Status vocabulary (exit-code mapping in parentheses):
+
+* ``ok`` (0) -- the run did what it set out to do.  For the
+  ``refute-*`` engines this means the construction succeeded and the
+  certificate validated: *finding* the violation is the job.
+* ``violation`` (1) -- a checked property failed: a model-check
+  counterexample, a trace-audit failure, a certificate that did not
+  validate.
+* ``findings`` (1) -- an audit completed and reported findings (lint).
+* ``error`` (2) -- the run could not complete (e.g. an impossibility
+  engine rejecting a protocol outside the theorem's hypotheses).
+
+``details`` is intentionally open: it carries the command-specific
+payload (a certificate dict, a counterexample trace, lint findings)
+without the envelope caring.  ``artifacts`` names files the run wrote
+(e.g. a ``--trace`` JSONL); it is folded into ``details["artifacts"]``
+in the JSON form so the envelope stays exactly five keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+STATUS_OK = "ok"
+STATUS_VIOLATION = "violation"
+STATUS_FINDINGS = "findings"
+STATUS_ERROR = "error"
+
+#: status -> process exit code, shared by every CLI subcommand.
+EXIT_CODES = {
+    STATUS_OK: 0,
+    STATUS_VIOLATION: 1,
+    STATUS_FINDINGS: 1,
+    STATUS_ERROR: 2,
+}
+
+
+@dataclass
+class RunReport:
+    """Uniform outcome of one run of any repro command or engine."""
+
+    command: str
+    status: str
+    counters: Dict[str, float] = field(default_factory=dict)
+    duration_s: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CODES.get(self.status, 2)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The five-key JSON envelope (see module docstring)."""
+        details = dict(self.details)
+        if self.artifacts:
+            details["artifacts"] = dict(self.artifacts)
+        return {
+            "command": self.command,
+            "status": self.status,
+            "counters": {
+                name: value for name, value in sorted(self.counters.items())
+            },
+            "duration_s": round(self.duration_s, 6),
+            "details": details,
+        }

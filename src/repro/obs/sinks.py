@@ -1,0 +1,143 @@
+"""Event sinks: where a tracer's records go.
+
+Three built-ins cover the intended uses:
+
+* :class:`MemorySink` -- an in-process ring buffer, for tests and for
+  programmatic inspection of a run that just happened;
+* :class:`JSONLSink` -- one JSON object per line, the archival and
+  replay format (:func:`read_events` reads a file back into the
+  identical event sequence);
+* :class:`TextSink` -- human-readable lines with span indentation, for
+  watching a run live.
+
+A sink is anything with ``emit(event)`` and ``close()``; custom sinks
+plug into :class:`~repro.obs.tracer.Tracer` unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import deque
+from typing import IO, Iterable, List, Optional, Tuple, Union
+
+from .events import COUNTER, GAUGE, MANIFEST, SPAN_END, SPAN_START, Event
+
+
+class Sink:
+    """Base class (and informal protocol) for event consumers."""
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; further ``emit`` calls are undefined."""
+
+
+class MemorySink(Sink):
+    """Ring buffer of the most recent ``capacity`` events (None = all)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JSONLSink(Sink):
+    """Writes each event as one JSON line.
+
+    Accepts a path (the file is opened and owned by the sink) or an
+    already-open text handle (left open on ``close``).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._handle = target
+            self._owns = False
+
+    def emit(self, event: Event) -> None:
+        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+class TextSink(Sink):
+    """Human-readable rendering, one line per event, spans indented."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._depth = 0
+
+    def emit(self, event: Event) -> None:
+        if event.kind == SPAN_END and self._depth > 0:
+            self._depth -= 1
+        indent = "  " * self._depth
+        extra = (
+            " " + json.dumps(event.fields, sort_keys=True)
+            if event.fields
+            else ""
+        )
+        if event.kind == SPAN_START:
+            line = f"{indent}> {event.name}{extra}"
+            self._depth += 1
+        elif event.kind == SPAN_END:
+            line = f"{indent}< {event.name} [{event.value:.6f}s]{extra}"
+        elif event.kind == COUNTER:
+            line = f"{indent}+ {event.name} += {event.value:g}{extra}"
+        elif event.kind == GAUGE:
+            line = f"{indent}= {event.name} = {event.value:g}{extra}"
+        elif event.kind == MANIFEST:
+            line = f"{indent}# manifest{extra}"
+        else:
+            line = f"{indent}. {event.name}{extra}"
+        self._stream.write(f"{event.at:10.6f} {line}\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+def read_events(source: Union[str, IO[str]]) -> Tuple[Event, ...]:
+    """Read a JSONL trace back into its event sequence.
+
+    The inverse of :class:`JSONLSink`: for any event stream ``es``,
+    writing ``es`` and reading the file yields records equal to ``es``.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_handle(handle)
+    return _read_handle(source)
+
+
+def _read_handle(handle: Iterable[str]) -> Tuple[Event, ...]:
+    events: List[Event] = []
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        events.append(Event.from_dict(json.loads(line)))
+    return tuple(events)
+
+
+def render_text(events: Iterable[Event]) -> str:
+    """Render an event sequence the way :class:`TextSink` would."""
+    buffer = io.StringIO()
+    sink = TextSink(buffer)
+    for event in events:
+        sink.emit(event)
+    return buffer.getvalue()

@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 
 from ..alphabets import Message, Packet
 from ..ioa.execution import ExecutionFragment
+from ..obs import current_tracer
 from ..channels.actions import RECEIVE_PKT, SEND_PKT
 from ..datalink.actions import RECEIVE_MSG, SEND_MSG
 from ..datalink.message_independence import packet_class
@@ -28,7 +29,16 @@ class DeliveryStats:
 
     @property
     def delivery_ratio(self) -> float:
-        return self.delivered / self.sent if self.sent else 1.0
+        """Delivered / sent; degenerate cases pinned explicitly.
+
+        With nothing sent, an empty trace is vacuously perfect (1.0),
+        but a trace that *delivered* without any send -- e.g. a
+        duplicate-only fragment sliced after its sends -- is an anomaly
+        and reports 0.0, never a ratio above 1.
+        """
+        if self.sent:
+            return self.delivered / self.sent
+        return 0.0 if self.delivered else 1.0
 
     @property
     def mean_latency(self) -> float:
@@ -76,6 +86,12 @@ def delivery_stats(
             delivered[message] = index
             if message in send_index:
                 latencies.append(index - send_index[message])
+    if delivered and not send_index:
+        # Deliveries with no send in view: flag it on the event stream
+        # so traced runs surface the anomaly instead of a silent 0.0.
+        current_tracer().count(
+            "sim.anomaly.unsent_delivery", len(delivered)
+        )
     return DeliveryStats(
         sent=len(send_index),
         delivered=len(delivered),

@@ -17,6 +17,8 @@ from typing import Iterable, Tuple
 from ..ioa.actions import Action
 from ..ioa.execution import ExecutionFragment
 from ..ioa.fairness import FairnessTimeout, run_to_quiescence
+from ..channels.actions import CRASH, FAIL
+from ..obs import STATUS_OK, RunReport, current_tracer
 from .network import DataLinkSystem
 
 
@@ -31,6 +33,48 @@ class ScenarioResult:
     @property
     def steps(self) -> int:
         return len(self.fragment)
+
+    def report(
+        self, duration_s: float = 0.0, t: str = "t", r: str = "r"
+    ) -> RunReport:
+        """This scenario as the unified :class:`~repro.obs.RunReport`.
+
+        The status is ``ok`` -- a scenario that ran to completion is a
+        successful run whatever the protocol did; correctness verdicts
+        come from the trace auditors, which the CLI folds in on top.
+        """
+        from .metrics import channel_stats, delivery_stats
+
+        stats = delivery_stats(self.fragment, t, r)
+        counters = {
+            "sim.steps": self.steps,
+            "sim.messages_sent": stats.sent,
+            "sim.messages_delivered": stats.delivered,
+            "sim.duplicate_deliveries": stats.duplicates,
+            "sim.packets_dropped": _dropped(
+                channel_stats(self.fragment, t, r)
+            )
+            + _dropped(channel_stats(self.fragment, r, t)),
+        }
+        return RunReport(
+            command="simulate",
+            status=STATUS_OK,
+            counters=counters,
+            duration_s=duration_s,
+            details={
+                "steps": self.steps,
+                "quiescent": self.quiescent,
+                "sent": stats.sent,
+                "delivered": stats.delivered,
+                "duplicates": stats.duplicates,
+                "delivery_ratio": stats.delivery_ratio,
+            },
+        )
+
+
+def _dropped(stats) -> int:
+    """Packets that left a channel's send side and never arrived."""
+    return max(0, stats.packets_sent - stats.packets_received)
 
 
 def run_scenario(
@@ -50,35 +94,68 @@ def run_scenario(
     rng = random.Random(seed)
     fragment = ExecutionFragment.initial(system.initial_state())
     budget = max_steps
-    for action in script:
-        state = system.automaton.step(fragment.final_state, action)
-        fragment = fragment.append(action, state)
-        slack = rng.randrange(max_interleave + 1)
-        if slack:
-            try:
-                burst = run_to_quiescence(
-                    system.automaton,
-                    fragment.final_state,
-                    max_steps=slack,
+    tracer = current_tracer()
+    with tracer.span("sim.scenario", seed=seed):
+        for action in script:
+            with tracer.span("sim.step", action=str(action)):
+                if tracer.enabled:
+                    tracer.count("sim.inputs")
+                    if action.name == CRASH:
+                        tracer.count("sim.crash_injections")
+                    elif action.name == FAIL:
+                        tracer.count("sim.fail_injections")
+                state = system.automaton.step(fragment.final_state, action)
+                fragment = fragment.append(action, state)
+                slack = rng.randrange(max_interleave + 1)
+                if slack:
+                    try:
+                        burst = run_to_quiescence(
+                            system.automaton,
+                            fragment.final_state,
+                            max_steps=slack,
+                        )
+                    except FairnessTimeout as exc:
+                        burst = exc.fragment
+                    fragment = fragment.extend(burst)
+            budget = max_steps - len(fragment)
+            if budget <= 0:
+                return _finish(
+                    system, fragment, quiescent=False, tracer=tracer
                 )
-            except FairnessTimeout as exc:
-                burst = exc.fragment
-            fragment = fragment.extend(burst)
-        budget = max_steps - len(fragment)
-        if budget <= 0:
-            return ScenarioResult(
-                fragment, system.behavior(fragment), quiescent=False
+        quiescent = True
+        try:
+            drain = run_to_quiescence(
+                system.automaton, fragment.final_state, max_steps=budget
             )
-    quiescent = True
-    try:
-        drain = run_to_quiescence(
-            system.automaton, fragment.final_state, max_steps=budget
-        )
-    except FairnessTimeout as exc:
-        drain = exc.fragment
-        quiescent = False
-    fragment = fragment.extend(drain)
-    return ScenarioResult(fragment, system.behavior(fragment), quiescent)
+        except FairnessTimeout as exc:
+            drain = exc.fragment
+            quiescent = False
+        fragment = fragment.extend(drain)
+        return _finish(system, fragment, quiescent, tracer)
+
+
+def _finish(
+    system: DataLinkSystem,
+    fragment: ExecutionFragment,
+    quiescent: bool,
+    tracer,
+) -> ScenarioResult:
+    """Build the result; emit the packet-level counters when tracing."""
+    result = ScenarioResult(fragment, system.behavior(fragment), quiescent)
+    if tracer.enabled:
+        from .metrics import channel_stats, delivery_stats
+
+        stats = delivery_stats(fragment, system.t, system.r)
+        tracer.count("sim.steps", len(fragment))
+        tracer.count("sim.messages_delivered", stats.delivered)
+        tracer.count("sim.duplicate_deliveries", stats.duplicates)
+        dropped = _dropped(
+            channel_stats(fragment, system.t, system.r)
+        ) + _dropped(channel_stats(fragment, system.r, system.t))
+        tracer.count("sim.packets_dropped", dropped)
+        if not quiescent:
+            tracer.count("sim.nonquiescent_runs")
+    return result
 
 
 def run_batch(

@@ -3,7 +3,7 @@
 The engine behind :func:`repro.ioa.explore` (trace-free parent-pointer
 frontiers, state interning, memoized composition stepping, optional
 parallel layers) must be observationally identical to the original
-naive breadth-first search, kept as :func:`repro.ioa.explore_reference`:
+naive breadth-first search, kept behind ``explore(engine="reference")``:
 same reachable-state set, same ``truncated`` flag, and a counterexample
 of the same (layer-minimal) length that actually replays on the
 automaton.  These tests check that across the toy automata and the
@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ioa import Composition, explore, explore_reference
+from repro.ioa import Composition, explore
 from repro.ioa.engine import InternTable, explore_parallel
 from repro.analysis.model_check import build_closed_system
 from repro.protocols import (
@@ -41,7 +41,7 @@ def assert_equivalent(automaton_factory, reference_factory=None, **kwargs):
     reference_factory = reference_factory or automaton_factory
     engine = explore(automaton_factory(), **kwargs)
     kwargs.pop("workers", None)
-    reference = explore_reference(reference_factory(), **kwargs)
+    reference = explore(reference_factory(), engine="reference", **kwargs)
     assert engine.states == reference.states
     assert engine.truncated == reference.truncated
     assert (engine.violation is None) == (reference.violation is None)
@@ -150,8 +150,11 @@ class TestZooDifferential:
             composition, invariant=invariant, max_depth=10_000_000
         )
         ref_composition, ref_invariant = build(memoize=False)
-        reference = explore_reference(
-            ref_composition, invariant=ref_invariant, max_depth=10_000_000
+        reference = explore(
+            ref_composition,
+            invariant=ref_invariant,
+            max_depth=10_000_000,
+            engine="reference",
         )
         assert engine.states == reference.states
         assert engine.truncated == reference.truncated
@@ -172,8 +175,11 @@ class TestZooDifferential:
         composition, invariant = build()
         engine = explore(composition, invariant=invariant, max_states=500)
         ref_composition, ref_invariant = build()
-        reference = explore_reference(
-            ref_composition, invariant=ref_invariant, max_states=500
+        reference = explore(
+            ref_composition,
+            invariant=ref_invariant,
+            max_states=500,
+            engine="reference",
         )
         assert engine.truncated and reference.truncated
         assert len(engine.states) == 500

@@ -1,0 +1,135 @@
+"""The engines' instrumentation agrees with their results."""
+
+from __future__ import annotations
+
+from repro.obs import MemorySink, tracing
+
+
+def abp_closed_system(messages=2, capacity=2):
+    from repro.analysis.model_check import build_closed_system
+    from repro.protocols import alternating_bit_protocol
+
+    composition, invariant, _ = build_closed_system(
+        alternating_bit_protocol(), messages=messages, capacity=capacity
+    )
+    return composition, invariant
+
+
+class TestExploreInstrumentation:
+    def test_state_counter_matches_result(self):
+        from repro.ioa import explore
+
+        composition, invariant = abp_closed_system()
+        with tracing(MemorySink()) as tracer:
+            result = explore(composition, invariant=invariant)
+        totals = tracer.snapshot_counters()
+        assert totals["explore.states"] == len(result.states)
+        assert totals["explore.transitions"] >= len(result.states) - 1
+
+    def test_layer_spans_and_frontier_gauge(self):
+        from repro.ioa import explore
+
+        composition, invariant = abp_closed_system()
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            explore(composition, invariant=invariant)
+        spans = [
+            e for e in sink.events
+            if e.kind == "span_start" and e.name == "explore.layer"
+        ]
+        assert spans
+        assert spans[0].fields["depth"] == 0
+        assert spans[0].fields["width"] == 1
+        assert "explore.frontier" in tracer.gauges
+
+    def test_memo_statistics_emitted_for_compositions(self):
+        from repro.ioa import explore
+
+        composition, invariant = abp_closed_system()
+        with tracing(MemorySink()) as tracer:
+            explore(composition, invariant=invariant)
+        totals = tracer.snapshot_counters()
+        assert totals["explore.memo_queries"] > 0
+        assert totals["explore.memo_hits"] <= totals["explore.memo_queries"]
+        assert 0.0 <= tracer.gauges["explore.memo_hit_rate"] <= 1.0
+        assert totals["explore.slices_interned"] > 0
+
+    def test_reference_engine_also_counts_states(self):
+        from repro.ioa import explore
+
+        composition, invariant = abp_closed_system(messages=1, capacity=1)
+        with tracing(MemorySink()) as tracer:
+            result = explore(
+                composition, invariant=invariant, engine="reference"
+            )
+        totals = tracer.snapshot_counters()
+        assert totals["explore.states"] == len(result.states)
+
+
+class TestSimInstrumentation:
+    def test_step_counter_matches_result(self):
+        from repro.protocols import alternating_bit_protocol
+        from repro.sim import FaultPlan, fifo_system, generate_script
+        from repro.sim.runner import run_scenario
+
+        system = fifo_system(alternating_bit_protocol())
+        script = generate_script(system, FaultPlan(messages=3, seed=2))
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            result = run_scenario(system, script.actions, seed=2)
+        totals = tracer.snapshot_counters()
+        assert totals["sim.steps"] == result.steps
+        assert totals["sim.messages_delivered"] == 3
+        assert any(
+            e.kind == "span_start" and e.name == "sim.scenario"
+            for e in sink.events
+        )
+        assert any(
+            e.kind == "span_start" and e.name == "sim.step"
+            for e in sink.events
+        )
+
+    def test_crash_injections_counted(self):
+        from repro.protocols import alternating_bit_protocol
+        from repro.sim import FaultPlan, fifo_system, generate_script
+        from repro.sim.runner import run_scenario
+
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(messages=6, crash_probability=0.9, seed=1)
+        script = generate_script(system, plan)
+        with tracing(MemorySink()) as tracer:
+            run_scenario(system, script.actions, seed=1)
+        assert tracer.snapshot_counters().get("sim.crash_injections", 0) > 0
+
+
+class TestRefuteInstrumentation:
+    def test_crash_engine_spans_and_counters(self):
+        from repro.impossibility import refute_crash_tolerance
+        from repro.protocols import alternating_bit_protocol
+
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            refute_crash_tolerance(alternating_bit_protocol())
+        totals = tracer.snapshot_counters()
+        assert totals["refute.crash_injections"] >= 1
+        assert totals["refute.replayed_steps"] >= 1
+        names = {
+            e.name for e in sink.events if e.kind == "span_start"
+        }
+        assert "refute.crash" in names
+        assert "refute.round" in names
+
+    def test_header_engine_spans_and_counters(self):
+        from repro.impossibility import refute_bounded_headers
+        from repro.protocols import modulo_stenning_protocol
+
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            refute_bounded_headers(modulo_stenning_protocol(2))
+        totals = tracer.snapshot_counters()
+        assert totals["refute.pump_rounds"] >= 1
+        names = {
+            e.name for e in sink.events if e.kind == "span_start"
+        }
+        assert "refute.headers" in names
+        assert "refute.round" in names

@@ -1,0 +1,82 @@
+"""Run manifests, config hashing, and the trace_run entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MANIFEST,
+    RunManifest,
+    config_hash,
+    read_events,
+    trace_run,
+)
+
+
+class TestConfigHash:
+    def test_stable_and_short(self):
+        first = config_hash({"messages": 4, "loss": 0.2})
+        second = config_hash({"messages": 4, "loss": 0.2})
+        assert first == second
+        assert len(first) == 12
+
+    def test_key_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_non_json_values_stringified(self):
+        config_hash({"proto": object()})  # must not raise
+
+
+class TestTraceRun:
+    def test_manifest_closes_the_stream(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with trace_run(
+            path,
+            command="simulate",
+            protocol="abp",
+            seed=7,
+            config={"messages": 3},
+        ) as tracer:
+            with tracer.span("sim.step"):
+                tracer.count("sim.steps", 3)
+        events = read_events(path)
+        assert events[-1].kind == MANIFEST
+        manifest = RunManifest.find(events)
+        assert manifest is not None
+        assert manifest.command == "simulate"
+        assert manifest.protocol == "abp"
+        assert manifest.seed == 7
+        assert manifest.config == {"messages": 3}
+        assert manifest.config_hash == config_hash({"messages": 3})
+        assert manifest.status == "ok"
+        assert manifest.counters == {"sim.steps": 3}
+        assert manifest.wall_s >= 0 and manifest.cpu_s >= 0
+        # the manifest counts every event that precedes it
+        assert manifest.events == len(events) - 1
+
+    def test_exception_marks_status_error(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with pytest.raises(ValueError):
+            with trace_run(path, command="verify") as tracer:
+                tracer.count("explore.states", 1)
+                raise ValueError("boom")
+        manifest = RunManifest.find(read_events(path))
+        assert manifest is not None
+        assert manifest.status == "error"
+        assert manifest.counters == {"explore.states": 1}
+
+    def test_manifest_round_trips_through_event(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with trace_run(path, command="x", config={"k": 1}):
+            pass
+        events = read_events(path)
+        manifest = RunManifest.from_event(events[-1])
+        assert manifest.to_dict() == events[-1].fields
+
+    def test_find_returns_none_without_manifest(self):
+        assert RunManifest.find(()) is None

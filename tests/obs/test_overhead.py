@@ -1,0 +1,85 @@
+"""Tracing-off must stay a no-op on the exploration hot path.
+
+The engines instrument at layer granularity behind ``tracer.enabled``
+checks, so a run with the disabled default tracer should do no event
+work at all.  This smoke test asserts the structural half (nothing is
+recorded, no memo-counting shim is installed) and a generous timing
+half: the tracing-off run must not be slower than the traced run by
+more than the stated margin (min-of-N timings; the no-op path does
+strictly less work, so this only trips when someone puts real work on
+the disabled path).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import MemorySink, current_tracer, tracing
+
+REPEATS = 5
+MARGIN = 1.10  # tracing-off may not exceed traced time by >10%
+
+
+def build():
+    from repro.analysis.model_check import build_closed_system
+    from repro.protocols import alternating_bit_protocol
+
+    composition, invariant, _ = build_closed_system(
+        alternating_bit_protocol(), messages=2, capacity=2
+    )
+    return composition, invariant
+
+
+def best_time(run):
+    timings = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+class TestNoOpOverhead:
+    def test_disabled_run_records_nothing(self):
+        from repro.ioa import explore
+
+        composition, invariant = build()
+        tracer = current_tracer()
+        assert not tracer.enabled
+        before = dict(tracer.counters)
+        explore(composition, invariant=invariant)
+        assert tracer.counters == before
+
+    def test_disabled_run_installs_no_memo_shim(self):
+        from repro.analysis.model_check import build_closed_system
+        from repro.ioa.engine.core import _CompositionSearch
+        from repro.protocols import alternating_bit_protocol
+
+        composition, invariant, _ = build_closed_system(
+            alternating_bit_protocol(), messages=1, capacity=1
+        )
+        search = _CompositionSearch(composition)
+        search.run(None, invariant, 50_000, 10_000)
+        assert not hasattr(search, "_step_queries")
+
+    def test_tracing_off_not_slower_than_traced(self):
+        from repro.ioa import explore
+
+        composition, invariant = build()
+
+        def run_off():
+            explore(composition, invariant=invariant)
+
+        def run_on():
+            with tracing(MemorySink()):
+                explore(composition, invariant=invariant)
+
+        # Warm both paths once before timing.
+        run_off()
+        run_on()
+        off = best_time(run_off)
+        on = best_time(run_on)
+        assert off <= on * MARGIN, (
+            f"tracing-off explore took {off:.6f}s vs traced {on:.6f}s; "
+            "the disabled path is doing real work"
+        )

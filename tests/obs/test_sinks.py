@@ -1,0 +1,146 @@
+"""Event model and sink tests, centered on JSONL round-trip identity."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    COUNTER,
+    GAUGE,
+    MANIFEST,
+    POINT,
+    SPAN_END,
+    SPAN_START,
+    JSONLSink,
+    MemorySink,
+    TextSink,
+    read_events,
+)
+from repro.obs.events import Event
+from repro.obs.sinks import render_text
+
+SAMPLE = (
+    Event(SPAN_START, "explore.layer", 0.0, span=0, fields={"depth": 0}),
+    Event(COUNTER, "explore.states", 0.001, value=7, parent=0),
+    Event(GAUGE, "explore.frontier", 0.002, value=7.0, parent=0),
+    Event(POINT, "note", 0.003, parent=0, fields={"why": "test"}),
+    Event(SPAN_END, "explore.layer", 0.004, value=0.004, span=0),
+    Event(
+        MANIFEST,
+        "run",
+        0.005,
+        fields={"command": "simulate", "status": "ok"},
+    ),
+)
+
+
+class TestEvent:
+    def test_to_dict_omits_unset_optionals(self):
+        record = Event(COUNTER, "x", 1.0, value=2).to_dict()
+        assert record == {
+            "kind": "counter",
+            "name": "x",
+            "at": 1.0,
+            "value": 2,
+        }
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Event.from_dict({"kind": "nope", "name": "x", "at": 0.0})
+
+    def test_dict_round_trip(self):
+        for event in SAMPLE:
+            assert Event.from_dict(event.to_dict()) == event
+
+
+class TestJSONLRoundTrip:
+    def test_file_round_trip_identity(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JSONLSink(path)
+        for event in SAMPLE:
+            sink.emit(event)
+        sink.close()
+        assert read_events(path) == SAMPLE
+
+    def test_handle_round_trip_identity(self):
+        buffer = io.StringIO()
+        sink = JSONLSink(buffer)
+        for event in SAMPLE:
+            sink.emit(event)
+        sink.close()  # handle sink: flush but leave open
+        buffer.seek(0)
+        assert read_events(buffer) == SAMPLE
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JSONLSink(path)
+        for event in SAMPLE:
+            sink.emit(event)
+        sink.close()
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == len(SAMPLE)
+        for line in lines:
+            json.loads(line)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"kind":"counter","name":"x","at":0.0,"value":1}\n'
+            "\n"
+            '{"kind":"point","name":"y","at":0.1}\n'
+        )
+        events = read_events(str(path))
+        assert [event.name for event in events] == ["x", "y"]
+
+
+class TestMemorySink:
+    def test_unbounded_keeps_everything(self):
+        sink = MemorySink()
+        for event in SAMPLE:
+            sink.emit(event)
+        assert sink.events == SAMPLE
+
+    def test_ring_buffer_keeps_most_recent(self):
+        sink = MemorySink(capacity=2)
+        for event in SAMPLE:
+            sink.emit(event)
+        assert sink.events == SAMPLE[-2:]
+
+    def test_clear(self):
+        sink = MemorySink()
+        sink.emit(SAMPLE[0])
+        sink.clear()
+        assert sink.events == ()
+
+
+class TestTextSink:
+    def test_spans_indent_and_nest(self):
+        buffer = io.StringIO()
+        sink = TextSink(buffer)
+        for event in SAMPLE:
+            sink.emit(event)
+        text = buffer.getvalue()
+        assert "> explore.layer" in text
+        assert "+ explore.states += 7" in text
+        assert "= explore.frontier = 7" in text
+        assert "< explore.layer" in text
+        assert "# manifest" in text
+        # counter emitted inside the span is indented one level deeper
+        start_line = next(
+            line for line in text.splitlines() if "> explore.layer" in line
+        )
+        counter_line = next(
+            line for line in text.splitlines() if "+ explore.states" in line
+        )
+        assert counter_line.index("+") > start_line.index(">")
+
+    def test_render_text_matches_sink(self):
+        buffer = io.StringIO()
+        sink = TextSink(buffer)
+        for event in SAMPLE:
+            sink.emit(event)
+        assert render_text(SAMPLE) == buffer.getvalue()

@@ -1,0 +1,137 @@
+"""Tracer semantics: spans, counters, gauges, and the disabled default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    COUNTER,
+    SPAN_END,
+    SPAN_START,
+    MemorySink,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.tracer import _NOOP_SPAN
+
+
+class TestDisabledDefault:
+    def test_process_default_is_disabled(self):
+        assert current_tracer().enabled is False
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NOOP_SPAN
+        assert tracer.span("y", depth=3) is _NOOP_SPAN
+        with tracer.span("x"):
+            pass  # enters and exits cleanly
+
+    def test_disabled_tracer_records_nothing(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink], enabled=False)
+        tracer.count("a", 3)
+        tracer.gauge("b", 1.5)
+        tracer.point("c")
+        assert sink.events == ()
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+
+
+class TestSpans:
+    def test_span_events_pair_and_nest(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("outer", depth=0):
+            with tracer.span("inner"):
+                pass
+        kinds = [(event.kind, event.name) for event in sink.events]
+        assert kinds == [
+            (SPAN_START, "outer"),
+            (SPAN_START, "inner"),
+            (SPAN_END, "inner"),
+            (SPAN_END, "outer"),
+        ]
+        outer_start, inner_start, inner_end, outer_end = sink.events
+        assert inner_start.parent == outer_start.span
+        assert inner_end.span == inner_start.span
+        assert outer_start.fields == {"depth": 0}
+        assert outer_end.value >= inner_end.value >= 0
+
+    def test_end_span_requires_innermost(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")
+        with pytest.raises(RuntimeError):
+            tracer.end_span(outer)
+
+    def test_counter_inside_span_links_to_it(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("work") as span_id:
+            tracer.count("items", 2)
+        counter = next(e for e in sink.events if e.kind == COUNTER)
+        assert counter.parent == span_id
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("x")
+        tracer.count("x", 4)
+        tracer.count("y", 2.5)
+        assert tracer.counters == {"x": 5, "y": 2.5}
+
+    def test_zero_increment_is_a_noop(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        tracer.count("x", 0)
+        assert sink.events == ()
+        assert "x" not in tracer.counters
+
+    def test_gauges_keep_last_value(self):
+        tracer = Tracer()
+        tracer.gauge("frontier", 10)
+        tracer.gauge("frontier", 3)
+        assert tracer.gauges == {"frontier": 3}
+
+    def test_snapshot_counters_sorted_and_integral(self):
+        tracer = Tracer()
+        tracer.count("b", 2.0)
+        tracer.count("a", 1.5)
+        snapshot = tracer.snapshot_counters()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["b"] == 2 and isinstance(snapshot["b"], int)
+        assert snapshot["a"] == 1.5
+
+
+class TestInstallation:
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert current_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert current_tracer() is previous
+
+    def test_set_tracer_none_restores_disabled_default(self):
+        previous = set_tracer(Tracer())
+        set_tracer(None)
+        assert current_tracer().enabled is False
+        set_tracer(previous)
+
+    def test_tracing_installs_and_restores(self):
+        before = current_tracer()
+        with tracing(MemorySink()) as tracer:
+            assert current_tracer() is tracer
+            assert tracer.enabled
+        assert current_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = current_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert current_tracer() is before

@@ -146,3 +146,22 @@ class TestMetrics:
         stats = delivery_stats(ExecutionFragment.initial(()))
         assert stats.sent == 0 and stats.delivery_ratio == 1.0
         assert stats.mean_latency == 0.0
+
+    def test_delivery_without_send_is_anomalous_not_perfect(self, factory):
+        # A fragment sliced after its sends: deliveries with sent == 0
+        # must report ratio 0.0 (never "vacuously perfect") and flag
+        # the anomaly on the event stream.
+        from repro.datalink.actions import receive_msg
+        from repro.ioa import ExecutionFragment
+        from repro.obs import MemorySink, tracing
+
+        message = factory.fresh()
+        fragment = ExecutionFragment(
+            states=((), ()), actions=(receive_msg("t", "r", message),)
+        )
+        with tracing(MemorySink()) as tracer:
+            stats = delivery_stats(fragment)
+        assert stats.sent == 0 and stats.delivered == 1
+        assert stats.delivery_ratio == 0.0
+        totals = tracer.snapshot_counters()
+        assert totals["sim.anomaly.unsent_delivery"] == 1

@@ -129,9 +129,19 @@ class TestCommands:
 
         assert main(["refute-crash", "abp", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["theorem"] == "theorem-7.5"
-        assert payload["validated"] is True
-        assert payload["behavior"][0]["name"] == "wake"
+        assert sorted(payload) == [
+            "command",
+            "counters",
+            "details",
+            "duration_s",
+            "status",
+        ]
+        assert payload["command"] == "refute-crash"
+        assert payload["status"] == "ok"
+        assert payload["details"]["theorem"] == "theorem-7.5"
+        assert payload["details"]["validated"] is True
+        assert payload["details"]["behavior"][0]["name"] == "wake"
+        assert payload["counters"]["refute.pump_levels"] >= 1
 
     def test_verify_command(self, capsys):
         assert main(["verify", "abp", "--messages", "2"]) == 0

@@ -185,3 +185,63 @@ class TestSection8Lint:
 
         report = lint_targets([target_from(nak_protocol())])
         assert report.ok, report.render_text()
+
+
+class TestSection9Observability:
+    """Mirrors the section-9 crash-storm trace walkthrough verbatim."""
+
+    def test_crash_storm_trace_walkthrough(self, tmp_path):
+        from repro.obs import RunManifest, read_events, trace_run
+        from repro.protocols import alternating_bit_protocol
+        from repro.sim import (
+            FaultPlan,
+            fifo_system,
+            generate_script,
+            run_scenario,
+        )
+
+        path = str(tmp_path / "abp_crash.jsonl")
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(messages=6, crash_probability=0.9, seed=1)
+        script = generate_script(system, plan)
+        with trace_run(
+            path,
+            command="simulate",
+            protocol="alternating-bit",
+            seed=1,
+            config={"messages": 6, "crash_probability": 0.9},
+        ):
+            result = run_scenario(system, script.actions, seed=1)
+
+        events = read_events(path)
+        manifest = RunManifest.find(events)
+        assert manifest.counters["sim.steps"] == result.steps
+        assert manifest.counters["sim.crash_injections"] >= 1
+        # Theorem 7.5 measured: a crashing protocol loses messages.
+        assert manifest.counters["sim.messages_delivered"] < 6
+
+    def test_crash_steps_are_visible_in_context(self, tmp_path):
+        from repro.obs import read_events, trace_run
+        from repro.protocols import alternating_bit_protocol
+        from repro.sim import (
+            FaultPlan,
+            fifo_system,
+            generate_script,
+            run_scenario,
+        )
+
+        path = str(tmp_path / "abp_crash.jsonl")
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(messages=6, crash_probability=0.9, seed=1)
+        script = generate_script(system, plan)
+        with trace_run(path, command="simulate"):
+            run_scenario(system, script.actions, seed=1)
+        events = read_events(path)
+        crash_steps = [
+            e
+            for e in events
+            if e.kind == "span_start"
+            and e.name == "sim.step"
+            and "crash" in e.fields.get("action", "")
+        ]
+        assert crash_steps
