@@ -25,6 +25,11 @@ Commands
 ``lint [PROTOCOL ...]``
     Static model audit of the protocol zoo (or the given protocols)
     with ruff-style diagnostics; exits non-zero on findings.
+``fuzz --protocol P --channel C``
+    Seeded conformance fuzzing: random fair executions under a fault
+    mix, checked against the executable DL/PL oracles; violations are
+    shrunk and written as replayable repro files (``--replay FILE``
+    re-executes one).
 ``trace FILE``
     Summarize a JSONL trace written by ``--trace`` (manifest, counter
     totals, span timings).
@@ -47,6 +52,7 @@ closed by a run manifest; inspect it with ``repro trace OUT.jsonl``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -554,6 +560,155 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return _emit(args, report, lines)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .conformance import (
+        ReplayFormatError,
+        FuzzConfig,
+        append_entries,
+        fuzz_campaign,
+        oracle_catalog,
+        replay,
+        save_repro,
+        with_mix,
+    )
+
+    started = time.perf_counter()
+
+    if args.list_oracles:
+        catalog = oracle_catalog()
+        lines = [
+            f"{entry['name']:16s} {entry['layer']:3s} "
+            f"{entry['scope']:9s} paper {entry['paper']}"
+            for entry in catalog
+        ]
+        report = RunReport(
+            command="fuzz",
+            status=STATUS_OK,
+            counters={"fuzz.oracles": len(catalog)},
+            details={"oracles": catalog},
+        )
+        return _emit(args, report, lines)
+
+    if args.replay:
+        try:
+            outcome = replay(args.replay)
+        except (ReplayFormatError, KeyError) as exc:
+            report = RunReport(
+                command="fuzz",
+                status=STATUS_ERROR,
+                duration_s=time.perf_counter() - started,
+                details={"replay": args.replay, "error": str(exc)},
+            )
+            return _emit(args, report, [f"cannot replay: {exc}"])
+        document = outcome.document
+        lines = [
+            f"replayed {args.replay}: protocol "
+            f"{document['protocol']} over {document['channel']}, "
+            f"{outcome.script_length}-action script",
+        ]
+        if outcome.reproduced:
+            lines.append(
+                f"violation REPRODUCED: {outcome.oracle} "
+                f"({document.get('witness', '')})"
+            )
+            status = STATUS_VIOLATION
+        else:
+            lines.append(
+                f"violation NOT reproduced (expected {outcome.oracle})"
+            )
+            status = STATUS_ERROR
+        report = RunReport(
+            command="fuzz",
+            status=status,
+            counters={
+                "fuzz.replay_steps": outcome.scenario.steps,
+                "fuzz.oracle_violations": len(outcome.violations),
+            },
+            duration_s=time.perf_counter() - started,
+            details={
+                "replay": args.replay,
+                "oracle": outcome.oracle,
+                "reproduced": outcome.reproduced,
+                "violations": [v.describe() for v in outcome.violations],
+            },
+        )
+        return _emit(args, report, lines)
+
+    if not args.protocol:
+        raise SystemExit("fuzz requires --protocol (or --replay/--list-oracles)")
+
+    try:
+        config = with_mix(FuzzConfig(), args.mix)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    overrides = {
+        "runs": args.runs,
+        "messages": args.messages,
+        "shrink": not args.no_shrink,
+        "shrink_budget": args.shrink_budget,
+        "deep_oracles": args.deep,
+        "max_steps": args.max_steps,
+    }
+    config = dataclasses.replace(config, **overrides)
+    config_dict = dataclasses.asdict(config)
+    with _maybe_traced(
+        args, "fuzz", args.protocol, args.seed, config_dict
+    ) as tracer:
+        try:
+            campaign = fuzz_campaign(
+                args.protocol, args.channel, args.seed, config
+            )
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+
+    out_dir = Path(args.out)
+    repro_paths = []
+    for violation in campaign.violations:
+        name = (
+            f"repro-{args.protocol}-{args.channel}-seed{args.seed}"
+            f"-run{violation.run_index}-{violation.violation.oracle}.json"
+        ).replace("_", "-")
+        repro_paths.append(str(save_repro(out_dir / name, violation.repro)))
+    if args.corpus and campaign.corpus:
+        append_entries(args.corpus, campaign.corpus)
+
+    lines = [
+        f"fuzzed {args.protocol} over {args.channel} "
+        f"(seed {args.seed}, {len(campaign.runs)} runs, mix "
+        f"{args.mix}): {len(campaign.violations)} violation(s), "
+        f"{campaign.states_interned} distinct states, "
+        f"{campaign.oracle_checks} oracle checks"
+    ]
+    for violation, path in zip(campaign.violations, repro_paths):
+        lines.append(
+            f"  run {violation.run_index}: "
+            f"{violation.violation.describe()}"
+        )
+        lines.append(
+            f"    shrunk {violation.script_length} -> "
+            f"{violation.shrunk_length} actions; repro: {path}"
+        )
+    if campaign.deep:
+        lines.append(f"  deep oracles: {campaign.deep}")
+    if not campaign.violations:
+        lines.append("  all oracles held on every run")
+    if args.corpus and campaign.corpus:
+        lines.append(
+            f"  corpus: +{len(campaign.corpus)} entries -> {args.corpus}"
+        )
+
+    report = campaign.report()
+    report.duration_s = time.perf_counter() - started
+    for index, path in enumerate(repro_paths):
+        report.artifacts[f"repro_{index}"] = path
+    if args.corpus and campaign.corpus:
+        report.artifacts["corpus"] = args.corpus
+    report = _merge_trace(report, args, tracer)
+    return _emit(args, report, lines)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     try:
@@ -800,6 +955,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(lint)
     lint.set_defaults(run=cmd_lint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded conformance fuzzing against the DL/PL oracles",
+    )
+    fuzz.add_argument(
+        "--protocol",
+        help="fuzz-registry protocol name (e.g. alternating_bit, naive)",
+    )
+    fuzz.add_argument(
+        "--channel",
+        default="nonfifo",
+        help="channel family: fifo (C-hat), nonfifo (C-bar), perfect",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--runs", type=int, default=20, help="fuzz runs per campaign"
+    )
+    fuzz.add_argument(
+        "--messages", type=int, default=6, help="messages per run script"
+    )
+    fuzz.add_argument(
+        "--mix",
+        default="default",
+        help="fault mix: default, clean, drop-flood, reorder-flood, "
+        "crash-storm",
+    )
+    fuzz.add_argument(
+        "--max-steps",
+        type=int,
+        default=60_000,
+        help="step budget per run",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample shrinking",
+    )
+    fuzz.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=400,
+        help="max re-executions per shrink",
+    )
+    fuzz.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-protocol oracles (message "
+        "independence, k-bound probe)",
+    )
+    fuzz.add_argument(
+        "--out",
+        default="fuzz-out",
+        metavar="DIR",
+        help="directory for replayable repro files",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="FILE.jsonl",
+        help="append interesting seeds to this corpus registry",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="REPRO.json",
+        help="re-execute a repro file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="print the oracle catalog and exit",
+    )
+    _add_json_flag(fuzz)
+    _add_trace_flag(fuzz)
+    fuzz.set_defaults(run=cmd_fuzz)
 
     trace = sub.add_parser(
         "trace",

@@ -1,0 +1,92 @@
+"""Conformance fuzzing: seeded trace fuzzing with executable oracles.
+
+The subsystem composes any registered protocol with any registered
+channel family, drives long random fair executions under configurable
+fault mixes, checks every execution against the paper's trace
+predicates (well-formedness, PL1-PL6, DL1-DL8, validity), shrinks
+violating input scripts to locally-minimal counterexamples, and emits
+replayable repro files.  ``repro fuzz`` is the CLI entry point.
+"""
+
+from .corpus import CorpusEntry, append_entries, load_corpus
+from .harness import (
+    FAULT_MIXES,
+    FuzzConfig,
+    SubSeeds,
+    build_script,
+    build_system,
+    execute_script,
+    script_admissible,
+    with_mix,
+)
+from .fuzzer import (
+    FuzzCampaignResult,
+    RunRecord,
+    ViolationReport,
+    fuzz_campaign,
+)
+from .oracles import (
+    DL_ORACLES,
+    PL_ORACLES,
+    Oracle,
+    OracleViolation,
+    check_execution,
+    earliest_violating_prefix,
+    oracle_catalog,
+)
+from .registry import (
+    FUZZ_CHANNELS,
+    FUZZ_PROTOCOLS,
+    resolve_fuzz_channel,
+    resolve_fuzz_protocol,
+)
+from .replay import (
+    ReplayFormatError,
+    ReplayResult,
+    decode_script,
+    encode_script,
+    load_repro,
+    make_repro,
+    replay,
+    save_repro,
+)
+from .shrink import ShrinkResult, shrink_script
+
+__all__ = [
+    "CorpusEntry",
+    "DL_ORACLES",
+    "FAULT_MIXES",
+    "FUZZ_CHANNELS",
+    "FUZZ_PROTOCOLS",
+    "FuzzCampaignResult",
+    "FuzzConfig",
+    "Oracle",
+    "OracleViolation",
+    "PL_ORACLES",
+    "ReplayFormatError",
+    "ReplayResult",
+    "RunRecord",
+    "ShrinkResult",
+    "SubSeeds",
+    "ViolationReport",
+    "append_entries",
+    "build_script",
+    "build_system",
+    "check_execution",
+    "decode_script",
+    "earliest_violating_prefix",
+    "encode_script",
+    "execute_script",
+    "fuzz_campaign",
+    "load_corpus",
+    "load_repro",
+    "make_repro",
+    "oracle_catalog",
+    "replay",
+    "resolve_fuzz_channel",
+    "resolve_fuzz_protocol",
+    "save_repro",
+    "script_admissible",
+    "shrink_script",
+    "with_mix",
+]

@@ -1,0 +1,79 @@
+"""Corpus registry: interesting seeds persisted across campaigns.
+
+The corpus is an append-only JSONL file.  One line per interesting run:
+runs that violated an oracle, and runs that discovered many new system
+states (coverage, measured by the campaign's
+:class:`~repro.ioa.engine.interning.InternTable`).  Re-fuzzing from a
+corpus replays the sub-seeds that were historically productive --
+``fuzz_campaign`` accepts entries' sub-seeds directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .harness import SubSeeds
+
+#: A run enters the corpus for coverage once it interns at least this
+#: many states the campaign had never seen.
+DEFAULT_COVERAGE_THRESHOLD = 25
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One interesting (protocol, channel, sub-seeds) combination."""
+
+    protocol: str
+    channel: str
+    seed: int
+    run_index: int
+    subseeds: SubSeeds
+    reason: str  # "violation" or "coverage"
+    oracle: Optional[str] = None
+    new_states: int = 0
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["subseeds"] = self.subseeds.to_dict()
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "CorpusEntry":
+        return CorpusEntry(
+            protocol=data["protocol"],
+            channel=data["channel"],
+            seed=int(data["seed"]),
+            run_index=int(data["run_index"]),
+            subseeds=SubSeeds.from_dict(data["subseeds"]),
+            reason=data["reason"],
+            oracle=data.get("oracle"),
+            new_states=int(data.get("new_states", 0)),
+        )
+
+
+def append_entries(
+    path: Union[str, Path], entries: List[CorpusEntry]
+) -> Path:
+    """Append entries to the corpus file, creating it if needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry.to_dict()) + "\n")
+    return path
+
+
+def load_corpus(path: Union[str, Path]) -> List[CorpusEntry]:
+    """Read every entry of a corpus file (empty list if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(CorpusEntry.from_dict(json.loads(line)))
+    return entries

@@ -1,0 +1,333 @@
+"""The fuzz campaign driver.
+
+One campaign = one (protocol, channel, seed, config) quadruple.  The
+campaign master RNG derives per-run :class:`SubSeeds`; each run builds a
+fresh system against sub-seeded channel adversaries, generates a
+well-formed fault script, executes it under seeded fair interleaving,
+and checks the execution against every applicable oracle
+(:mod:`repro.conformance.oracles`).  Violating runs are shrunk to
+locally-minimal scripts (:mod:`repro.conformance.shrink`) and packaged
+as replayable repro documents (:mod:`repro.conformance.replay`).
+
+Coverage is measured with the exploration engine's
+:class:`~repro.ioa.engine.interning.InternTable`: every system state an
+execution visits is interned, and a run that contributes many
+first-seen states is recorded in the corpus even if it violated
+nothing.  Campaigns are bit-deterministic in their seed: no module on
+this path touches the global RNG.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..ioa.engine.interning import InternTable
+from ..obs import (
+    STATUS_OK,
+    STATUS_VIOLATION,
+    RunReport,
+    current_tracer,
+)
+from .corpus import DEFAULT_COVERAGE_THRESHOLD, CorpusEntry
+from .harness import (
+    FuzzConfig,
+    SubSeeds,
+    build_script,
+    build_system,
+    execute_script,
+)
+from .oracles import OracleViolation, check_execution
+from .replay import make_repro
+from .shrink import ShrinkResult, shrink_script
+
+import random
+
+
+@dataclass
+class ViolationReport:
+    """One oracle violation, with its (possibly shrunk) repro script."""
+
+    run_index: int
+    violation: OracleViolation
+    script_length: int
+    shrunk_length: int
+    shrink: Optional[ShrinkResult]
+    repro: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "run_index": self.run_index,
+            "oracle": self.violation.oracle,
+            "layer": self.violation.layer,
+            "paper": self.violation.paper,
+            "witness": self.violation.witness,
+            "direction": list(self.violation.direction)
+            if self.violation.direction
+            else None,
+            "prefix_length": self.violation.prefix_length,
+            "script_length": self.script_length,
+            "shrunk_length": self.shrunk_length,
+        }
+
+
+@dataclass
+class RunRecord:
+    """Summary of one fuzz run."""
+
+    index: int
+    subseeds: SubSeeds
+    steps: int
+    quiescent: bool
+    behavior_length: int
+    new_states: int
+    violations: List[OracleViolation] = field(default_factory=list)
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Everything one campaign produced."""
+
+    protocol: str
+    channel: str
+    seed: int
+    config: FuzzConfig
+    runs: List[RunRecord]
+    violations: List[ViolationReport]
+    corpus: List[CorpusEntry]
+    states_interned: int
+    oracle_checks: int
+    deep: dict = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violations) or not self.deep.get(
+            "message_independent", True
+        )
+
+    def report(self) -> RunReport:
+        counters = {
+            "fuzz.runs": len(self.runs),
+            "fuzz.oracle_checks": self.oracle_checks,
+            "fuzz.violations": len(self.violations),
+            "fuzz.states_interned": self.states_interned,
+            "fuzz.steps": sum(run.steps for run in self.runs),
+            "fuzz.nonquiescent_runs": sum(
+                1 for run in self.runs if not run.quiescent
+            ),
+            "fuzz.shrink_executions": sum(
+                v.shrink.attempts for v in self.violations if v.shrink
+            ),
+        }
+        details = {
+            "protocol": self.protocol,
+            "channel": self.channel,
+            "seed": self.seed,
+            "violations": [v.to_dict() for v in self.violations],
+            "corpus_entries": len(self.corpus),
+        }
+        if self.deep:
+            details["deep"] = dict(self.deep)
+        return RunReport(
+            command="fuzz",
+            status=STATUS_VIOLATION if self.found_violation else STATUS_OK,
+            counters=counters,
+            duration_s=self.duration_s,
+            details=details,
+        )
+
+
+def fuzz_campaign(
+    protocol: str,
+    channel: str,
+    seed: int,
+    config: Optional[FuzzConfig] = None,
+    replay_subseeds: Optional[Sequence[SubSeeds]] = None,
+    coverage_threshold: int = DEFAULT_COVERAGE_THRESHOLD,
+) -> FuzzCampaignResult:
+    """Run one fuzz campaign.
+
+    ``replay_subseeds`` (e.g. from a loaded corpus) are fuzzed first,
+    before ``config.runs`` freshly derived runs.  Determinism contract:
+    two campaigns with equal arguments produce identical results,
+    including identical shrunk scripts and repro documents.
+    """
+    config = config or FuzzConfig()
+    tracer = current_tracer()
+    started = time.perf_counter()
+    master = random.Random(seed)
+    table = InternTable()
+    runs: List[RunRecord] = []
+    violations: List[ViolationReport] = []
+    corpus: List[CorpusEntry] = []
+    oracle_checks = 0
+
+    schedule: List[SubSeeds] = list(replay_subseeds or ())
+    schedule += [SubSeeds.derive(master) for _ in range(config.runs)]
+
+    for index, subseeds in enumerate(schedule):
+        with tracer.span("fuzz.run", index=index, seed=seed):
+            if tracer.enabled:
+                tracer.count("fuzz.runs")
+            system = build_system(protocol, channel, subseeds, config)
+            script = build_script(system, subseeds, config)
+            result = execute_script(system, script.actions, subseeds, config)
+            before = len(table)
+            for state in result.fragment.states:
+                table.intern(state)
+            new_states = len(table) - before
+            if tracer.enabled:
+                tracer.count("fuzz.states_interned", new_states)
+            found = check_execution(system, result)
+            oracle_checks += _checks_for(result, system)
+            runs.append(
+                RunRecord(
+                    index=index,
+                    subseeds=subseeds,
+                    steps=result.steps,
+                    quiescent=result.quiescent,
+                    behavior_length=len(result.behavior),
+                    new_states=new_states,
+                    violations=found,
+                )
+            )
+            if found:
+                violations.append(
+                    _package_violation(
+                        protocol,
+                        channel,
+                        seed,
+                        index,
+                        subseeds,
+                        config,
+                        system,
+                        script.actions,
+                        found[0],
+                    )
+                )
+                corpus.append(
+                    CorpusEntry(
+                        protocol,
+                        channel,
+                        seed,
+                        index,
+                        subseeds,
+                        reason="violation",
+                        oracle=found[0].oracle,
+                        new_states=new_states,
+                    )
+                )
+            elif new_states >= coverage_threshold:
+                corpus.append(
+                    CorpusEntry(
+                        protocol,
+                        channel,
+                        seed,
+                        index,
+                        subseeds,
+                        reason="coverage",
+                        new_states=new_states,
+                    )
+                )
+
+    deep = _deep_oracles(protocol, config, tracer) if config.deep_oracles else {}
+
+    campaign = FuzzCampaignResult(
+        protocol=protocol,
+        channel=channel,
+        seed=seed,
+        config=config,
+        runs=runs,
+        violations=violations,
+        corpus=corpus,
+        states_interned=len(table),
+        oracle_checks=oracle_checks,
+        deep=deep,
+        duration_s=time.perf_counter() - started,
+    )
+    if tracer.enabled:
+        tracer.gauge("fuzz.corpus_entries", len(corpus))
+    return campaign
+
+
+def _package_violation(
+    protocol: str,
+    channel: str,
+    seed: int,
+    index: int,
+    subseeds: SubSeeds,
+    config: FuzzConfig,
+    system,
+    actions,
+    violation: OracleViolation,
+) -> ViolationReport:
+    """Shrink (if configured) and build the replayable repro document."""
+    shrink = None
+    final_actions = tuple(actions)
+    if config.shrink:
+        shrink = shrink_script(
+            system, actions, violation.oracle, subseeds, config
+        )
+        final_actions = shrink.actions
+    repro = make_repro(
+        protocol,
+        channel,
+        seed,
+        index,
+        subseeds,
+        config,
+        system,
+        final_actions,
+        violation,
+        shrunk=shrink is not None,
+    )
+    return ViolationReport(
+        run_index=index,
+        violation=violation,
+        script_length=len(actions),
+        shrunk_length=len(final_actions),
+        shrink=shrink,
+        repro=repro,
+    )
+
+
+def _checks_for(result, system) -> int:
+    """How many oracle applications ``check_execution`` performed."""
+    from .oracles import DL_ORACLES, PL_ORACLES, QUIESCENT
+
+    count = 0
+    for oracle in DL_ORACLES:
+        if oracle.scope == QUIESCENT and not result.quiescent:
+            continue
+        count += 1  # validity's skip-gate is data-dependent; close enough
+    for channel in (system.channel_tr, system.channel_rt):
+        for oracle in PL_ORACLES:
+            if oracle.scope == QUIESCENT and not result.quiescent:
+                continue
+            if oracle.fifo_only and not channel.fifo_only:
+                continue
+            count += 1
+    return count
+
+
+def _deep_oracles(protocol: str, config: FuzzConfig, tracer) -> dict:
+    """Whole-protocol oracles: message independence and the k-bound probe.
+
+    These analyze the protocol itself rather than one execution, so they
+    run once per campaign (opt-in: they cost an exploration each).
+    """
+    from ..datalink.kbounded import probe_k_bound
+    from ..datalink.message_independence import check_message_independence
+    from .registry import resolve_fuzz_protocol
+
+    deep = {}
+    with tracer.span("fuzz.deep", protocol=protocol):
+        independence = check_message_independence(resolve_fuzz_protocol(protocol))
+        deep["message_independent"] = bool(independence.independent)
+        if not independence.independent:
+            deep["message_independence_detail"] = independence.detail
+        kbound = probe_k_bound(resolve_fuzz_protocol(protocol))
+        deep["k_bound"] = kbound.k
+    return deep

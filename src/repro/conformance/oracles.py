@@ -1,0 +1,218 @@
+"""Executable oracles the fuzzer checks every execution against.
+
+Each oracle wraps one trace predicate from the paper's formal apparatus
+(:mod:`repro.datalink.properties` for DL1-DL8 and validity,
+:mod:`repro.channels.properties` for well-formedness and PL1-PL6) and
+tags it with the metadata the fuzzer needs to apply it soundly:
+
+* **scope** -- ``prefix`` oracles are prefix-monotone safety properties:
+  once violated, every extension stays violated, so they are checked on
+  every run and the earliest violating prefix is located by binary
+  search (checking every prefix in one O(log n) pass).  ``quiescent``
+  oracles (DL1, DL7, DL8, validity, the PL6 finite diagnostic) are only
+  meaningful on a whole quiescent trace -- a truncated run could flag a
+  loss that a fair extension would cure -- so they are skipped when the
+  run did not quiesce.
+* **layer** -- DL oracles read the data-link behavior (the hidden
+  composition's external actions); PL oracles read the full execution's
+  action sequence, once per channel direction.  (PL5), FIFO order, is
+  only applied to directions whose physical channel is FIFO-only.
+* **paper** -- the section the predicate formalizes, surfaced in
+  reports and in ``docs/paper_map.md``.
+
+Validity (Section 8.1) is environment-conditional: it only applies to
+behaviors containing a wake but no fail/crash events, so it is checked
+exactly when the driving script was fault-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..channels.actions import CRASH, FAIL, WAKE
+from ..channels import properties as pl
+from ..datalink import properties as dl
+from ..ioa.actions import Action
+from ..ioa.schedule_module import PropertyResult
+from ..obs import current_tracer
+
+PREFIX = "prefix"
+QUIESCENT = "quiescent"
+
+CheckFn = Callable[[Sequence[Action], str, str], PropertyResult]
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One executable trace predicate plus its application metadata."""
+
+    name: str
+    layer: str  # "dl" or "pl"
+    scope: str  # PREFIX or QUIESCENT
+    paper: str  # paper section the predicate formalizes
+    check: CheckFn
+    fifo_only: bool = False  # PL5: apply only to FIFO channel directions
+
+
+DL_ORACLES: Tuple[Oracle, ...] = (
+    Oracle("DL-well-formed", "dl", PREFIX, "§4", dl.dl_well_formed),
+    Oracle("DL1", "dl", QUIESCENT, "§4 (DL1)", dl.dl1),
+    Oracle("DL2", "dl", PREFIX, "§4 (DL2)", dl.dl2),
+    Oracle("DL3", "dl", PREFIX, "§4 (DL3)", dl.dl3),
+    Oracle("DL4", "dl", PREFIX, "§4 (DL4)", dl.dl4),
+    Oracle("DL5", "dl", PREFIX, "§4 (DL5)", dl.dl5),
+    Oracle("DL6", "dl", PREFIX, "§4 (DL6)", dl.dl6),
+    Oracle("DL7", "dl", QUIESCENT, "§4 (DL7)", dl.dl7),
+    Oracle(
+        "DL8",
+        "dl",
+        QUIESCENT,
+        "§4 (DL8)",
+        lambda s, t, r: dl.dl8(s, t, r, quiescent=True),
+    ),
+    Oracle("valid", "dl", QUIESCENT, "§8.1", dl.is_valid_sequence),
+)
+
+PL_ORACLES: Tuple[Oracle, ...] = (
+    Oracle("PL-well-formed", "pl", PREFIX, "§3", pl.pl_well_formed),
+    Oracle("PL1", "pl", PREFIX, "§3 (PL1)", pl.pl1),
+    Oracle("PL2", "pl", PREFIX, "§3 (PL2)", pl.pl2),
+    Oracle("PL3", "pl", PREFIX, "§3 (PL3)", pl.pl3),
+    Oracle("PL4", "pl", PREFIX, "§3 (PL4)", pl.pl4),
+    Oracle("PL5", "pl", PREFIX, "§3 (PL5)", pl.pl5, fifo_only=True),
+    Oracle(
+        "PL6-finite", "pl", QUIESCENT, "§3 (PL6)", pl.pl6_finite_diagnostic
+    ),
+)
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One oracle failure on one execution."""
+
+    oracle: str
+    layer: str
+    scope: str
+    paper: str
+    witness: str
+    direction: Optional[Tuple[str, str]] = None
+    prefix_length: Optional[int] = None
+
+    def describe(self) -> str:
+        where = (
+            f" on channel {self.direction[0]}->{self.direction[1]}"
+            if self.direction
+            else ""
+        )
+        at = (
+            f" (earliest violating prefix: {self.prefix_length} events)"
+            if self.prefix_length is not None
+            else ""
+        )
+        return f"{self.oracle}{where}: {self.witness}{at}"
+
+
+def earliest_violating_prefix(
+    check: CheckFn, schedule: Sequence[Action], a: str, b: str
+) -> int:
+    """Shortest prefix length on which a prefix-monotone oracle fails.
+
+    Assumes ``check`` fails on the full ``schedule``; monotonicity makes
+    "fails on the first n events" monotone in ``n``, so binary search
+    visits O(log n) prefixes instead of all of them.
+    """
+    lo, hi = 1, len(schedule)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if check(schedule[:mid], a, b).holds:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _apply(
+    oracle: Oracle,
+    schedule: Sequence[Action],
+    a: str,
+    b: str,
+    direction: Optional[Tuple[str, str]],
+    violations: List[OracleViolation],
+) -> None:
+    result = oracle.check(schedule, a, b)
+    if result.holds:
+        return
+    prefix = (
+        earliest_violating_prefix(oracle.check, schedule, a, b)
+        if oracle.scope == PREFIX
+        else None
+    )
+    violations.append(
+        OracleViolation(
+            oracle=oracle.name,
+            layer=oracle.layer,
+            scope=oracle.scope,
+            paper=oracle.paper,
+            witness=result.witness or "",
+            direction=direction,
+            prefix_length=prefix,
+        )
+    )
+
+
+def check_execution(system, result) -> List[OracleViolation]:
+    """Check one scenario result against every applicable oracle.
+
+    ``system`` is the :class:`~repro.sim.network.DataLinkSystem` that
+    produced ``result`` (a :class:`~repro.sim.runner.ScenarioResult`).
+    Quiescent-scope oracles are skipped on non-quiescent runs; validity
+    is skipped when the behavior contains fail/crash events (it would
+    report the environment's faults, not the protocol's).
+    """
+    tracer = current_tracer()
+    violations: List[OracleViolation] = []
+    behavior = result.behavior
+    fault_free = not any(a.name in (FAIL, CRASH) for a in behavior)
+    has_wake = any(a.name == WAKE for a in behavior)
+    for oracle in DL_ORACLES:
+        if oracle.scope == QUIESCENT and not result.quiescent:
+            continue
+        if oracle.name == "valid" and not (fault_free and has_wake):
+            continue
+        if tracer.enabled:
+            tracer.count("fuzz.oracle_checks")
+        _apply(oracle, behavior, system.t, system.r, None, violations)
+    packet_schedule = result.fragment.actions
+    for src, dst, channel in (
+        (system.t, system.r, system.channel_tr),
+        (system.r, system.t, system.channel_rt),
+    ):
+        for oracle in PL_ORACLES:
+            if oracle.scope == QUIESCENT and not result.quiescent:
+                continue
+            if oracle.fifo_only and not channel.fifo_only:
+                continue
+            if tracer.enabled:
+                tracer.count("fuzz.oracle_checks")
+            _apply(
+                oracle, packet_schedule, src, dst, (src, dst), violations
+            )
+    if violations and tracer.enabled:
+        tracer.count("fuzz.oracle_violations", len(violations))
+    return violations
+
+
+def oracle_catalog() -> List[dict]:
+    """Every registered oracle as a plain dict (for reports and docs)."""
+    catalog = []
+    for oracle in DL_ORACLES + PL_ORACLES:
+        catalog.append(
+            {
+                "name": oracle.name,
+                "layer": oracle.layer,
+                "scope": oracle.scope,
+                "paper": oracle.paper,
+            }
+        )
+    return catalog

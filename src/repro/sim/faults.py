@@ -59,9 +59,16 @@ def generate_script(
     system: DataLinkSystem,
     plan: FaultPlan,
     factory: Optional[MessageFactory] = None,
+    rng: Optional[random.Random] = None,
 ) -> GeneratedScript:
-    """Generate a well-formed input script according to ``plan``."""
-    rng = random.Random(plan.seed)
+    """Generate a well-formed input script according to ``plan``.
+
+    All randomness comes from ``rng`` (defaulting to a fresh
+    ``random.Random(plan.seed)``); the module never touches the global
+    RNG, so callers that thread one instance through script generation,
+    interleaving and channel construction get bit-identical runs.
+    """
+    rng = rng if rng is not None else random.Random(plan.seed)
     factory = factory or MessageFactory(label="s")
     actions: List[Action] = [system.wake_t(), system.wake_r()]
     messages: List[Message] = []
@@ -115,13 +122,14 @@ def crash_storm(
     messages_between: int = 2,
     seed: int = 0,
     factory: Optional[MessageFactory] = None,
+    rng: Optional[random.Random] = None,
 ) -> GeneratedScript:
     """A script alternating bursts of sends with host crashes.
 
     Used by the non-volatile-memory experiments (E5): after each crash
     both stations are woken and a fresh burst of messages is submitted.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     factory = factory or MessageFactory(label="s")
     actions: List[Action] = [system.wake_t(), system.wake_r()]
     messages: List[Message] = []

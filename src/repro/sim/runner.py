@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..ioa.actions import Action
 from ..ioa.execution import ExecutionFragment
@@ -83,15 +83,18 @@ def run_scenario(
     seed: int = 0,
     max_interleave: int = 8,
     max_steps: int = 200_000,
+    rng: Optional[random.Random] = None,
 ) -> ScenarioResult:
     """Run a script with seeded interleaving, then drain to quiescence.
 
     ``max_interleave`` bounds how many fair (locally-controlled) steps
     may run between consecutive inputs.  The final drain runs to
     quiescence; if the step budget is exhausted the result is flagged
-    non-quiescent rather than raising.
+    non-quiescent rather than raising.  Passing ``rng`` makes the
+    interleaving draw from a caller-owned :class:`random.Random`
+    instead of a fresh one derived from ``seed``.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     fragment = ExecutionFragment.initial(system.initial_state())
     budget = max_steps
     tracer = current_tracer()

@@ -24,12 +24,14 @@ def deterministic_tie_break(candidates: List[Action]) -> Action:
     return candidates[0]
 
 
-def seeded_tie_break(seed: int) -> TieBreak:
+def seeded_tie_break(seed) -> TieBreak:
     """A tie-breaker choosing uniformly among a task's enabled actions.
 
-    Deterministic in the seed, so failing runs replay exactly.
+    Deterministic in the seed, so failing runs replay exactly.  ``seed``
+    may also be a :class:`random.Random` instance, letting callers
+    thread one RNG through every source of schedule randomness.
     """
-    rng = random.Random(seed)
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
 
     def pick(candidates: List[Action]) -> Action:
         return candidates[rng.randrange(len(candidates))]

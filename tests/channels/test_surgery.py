@@ -3,15 +3,22 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.alphabets import Packet
 from repro.channels import (
     ChannelSurgeryError,
     DeliverySet,
+    DeliverySetError,
     PermissiveChannel,
     PermissiveFifoChannel,
+    receive_pkt,
     send_pkt,
 )
+from repro.channels.delivery_set import random_lossy_fifo, random_reordering
+
+from .test_delivery_set import delivery_sets, monotone_delivery_sets
 
 
 def packets(n):
@@ -136,3 +143,157 @@ class TestWithWaiting:
         channel = PermissiveChannel("t", "r")
         state = loaded_channel(channel, 3)
         assert channel.with_waiting(state, []) == channel.make_clean(state)
+
+
+# ----------------------------------------------------------------------
+# Property tests: Lemmas 6.1-6.7 invariants under random channel states
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def channel_states(draw, fifo: bool = False):
+    """A random reachable channel state: seeded delivery set, random
+    waiting packet sequence (sends), and as many deliveries as the
+    delivery set permits."""
+    seed = draw(st.integers(0, 2**16))
+    loss = draw(st.sampled_from([0.0, 0.2, 0.5]))
+    if fifo:
+        delivery = random_lossy_fifo(seed, loss, horizon=16)
+        channel = PermissiveFifoChannel("t", "r", initial_delivery=delivery)
+    else:
+        window = draw(st.integers(1, 6))
+        delivery = random_reordering(seed, loss, window, horizon=16)
+        channel = PermissiveChannel("t", "r", initial_delivery=delivery)
+    sends = draw(st.integers(0, 12))
+    state = channel.initial_state()
+    for packet in packets(sends):
+        state = channel.step(state, send_pkt("t", "r", packet))
+    deliveries = draw(st.integers(0, sends))
+    for _ in range(deliveries):
+        deliverable = state.deliverable()
+        if deliverable is None:
+            break
+        state = channel.step(
+            state, receive_pkt("t", "r", deliverable[1])
+        )
+    return channel, state
+
+
+class TestSurgeryProperties:
+    """Random-state invariants for the Section 6.3 surgeries."""
+
+    @given(channel_states())
+    @settings(max_examples=60, deadline=None)
+    def test_make_clean_is_clean_and_idempotent(self, cs):
+        channel, state = cs
+        cleaned = channel.make_clean(state)
+        assert cleaned.is_clean()
+        # Lemma 6.3 surgery is idempotent: cleaning twice is cleaning once.
+        assert channel.make_clean(cleaned) == cleaned
+
+    @given(channel_states())
+    @settings(max_examples=60, deadline=None)
+    def test_make_clean_preserves_history(self, cs):
+        channel, state = cs
+        cleaned = channel.make_clean(state)
+        assert cleaned.delivered_indices() == state.delivered_indices()
+        assert cleaned.counter1 == state.counter1
+        assert cleaned.counter2 == state.counter2
+        assert cleaned.waiting_sequence() == ()
+
+    @given(channel_states(fifo=True))
+    @settings(max_examples=60, deadline=None)
+    def test_make_clean_preserves_monotonicity(self, cs):
+        channel, state = cs
+        assert channel.make_clean(state).delivery.is_monotone()
+
+    @given(channel_states(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_with_waiting_schedules_exactly_the_subsequence(self, cs, data):
+        channel, state = cs
+        transit = list(state.in_transit_indices())
+        chosen = data.draw(st.permutations(transit))
+        keep = data.draw(st.integers(0, len(chosen)))
+        indices = list(chosen[:keep])
+        surgered = channel.with_waiting(state, indices)
+        # Lemma 6.6/6.7: exactly the chosen packets wait, in order.
+        assert [
+            p.uid for p in surgered.waiting_sequence()
+        ] == [state.sent[i - 1].uid for i in indices]
+        assert surgered.delivered_indices() == state.delivered_indices()
+
+    @given(channel_states(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_with_waiting_drains_to_clean(self, cs, data):
+        channel, state = cs
+        transit = list(state.in_transit_indices())
+        keep = data.draw(st.integers(0, len(transit)))
+        indices = data.draw(st.permutations(transit))[:keep]
+        surgered = channel.with_waiting(state, list(indices))
+        for _ in range(len(indices)):
+            deliverable = surgered.deliverable()
+            assert deliverable is not None
+            surgered = channel.step(
+                surgered, receive_pkt("t", "r", deliverable[1])
+            )
+        # After the scheduled subsequence drains, the channel is clean:
+        # everything else in transit was lost, future sends are FIFO.
+        assert surgered.is_clean()
+        assert surgered.waiting_sequence() == ()
+
+    @given(channel_states(fifo=True), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_with_waiting_keeps_monotone(self, cs, data):
+        channel, state = cs
+        # Lemma 6.5's precondition on C-hat: the waiting subsequence
+        # must be increasing *and above every consumed index* -- an
+        # in-transit packet overtaken by a later consumed one is lost
+        # for good on a FIFO channel and cannot be scheduled to wait.
+        consumed = max(
+            [
+                state.delivery.source_of(j)
+                for j in range(1, state.counter2 + 1)
+            ],
+            default=0,
+        )
+        transit = sorted(
+            i for i in state.in_transit_indices() if i > consumed
+        )
+        keep = data.draw(st.integers(0, len(transit)))
+        indices = transit[len(transit) - keep :]
+        surgered = channel.with_waiting(state, indices)
+        assert surgered.delivery.is_monotone()
+
+    @given(delivery_sets(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_delete_slot_shifting_law(self, delivery, data):
+        j = data.draw(st.integers(1, max(1, len(delivery.prefix) + 3)))
+        deleted_index = delivery.source_of(j)
+        result = delivery.delete_slot(j)
+        # Slots below j unchanged; slots at/above j shift down by one;
+        # the deleted send index becomes lost (del, Section 6.3).
+        for slot in range(1, j):
+            assert result.source_of(slot) == delivery.source_of(slot)
+        for slot in range(j, j + 6):
+            assert result.source_of(slot) == delivery.source_of(slot + 1)
+        assert result.is_lost(deleted_index)
+        with pytest.raises(DeliverySetError):
+            result.delete_pair(deleted_index, j)
+
+    @given(monotone_delivery_sets(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_delete_slot_preserves_monotonicity(self, delivery, data):
+        j = data.draw(st.integers(1, max(1, len(delivery.prefix) + 3)))
+        assert delivery.delete_slot(j).is_monotone()
+
+    @given(delivery_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_delete_slots_order_independent(self, delivery, data):
+        upper = len(delivery.prefix) + 3
+        slots = data.draw(
+            st.lists(st.integers(1, upper), max_size=4, unique=True)
+        )
+        expected = delivery.delete_slots(slots)
+        # Deleting in any order (with shift-corrected slot numbers via
+        # delete_slots' original-numbering contract) agrees.
+        assert delivery.delete_slots(tuple(reversed(slots))) == expected

@@ -1,0 +1,217 @@
+"""CLI acceptance tests for ``repro fuzz``, including bit-determinism.
+
+The determinism test is the satellite fix for ``--seed``: two runs of
+the same command must produce identical JSONL event streams modulo
+timestamps.  Before the RNG threading fix, ``sim/faults.py`` drew from
+the global RNG, so two same-seed runs could diverge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+def read_jsonl(path):
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def normalize(record):
+    """Drop wall-clock data: timestamps and measured durations."""
+    record = dict(record)
+    record.pop("at", None)
+    if record.get("kind") in ("span_end", "manifest"):
+        record.pop("value", None)
+    if record.get("kind") == "manifest":
+        fields = dict(record.get("fields", {}))
+        for key in ("wall_s", "cpu_s", "started_at", "finished_at"):
+            fields.pop(key, None)
+        record["fields"] = fields
+    return record
+
+
+class TestFuzzCommand:
+    def test_naive_nonfifo_seed7_finds_and_shrinks(self, tmp_path, capsys):
+        out = tmp_path / "repros"
+        code = main(
+            [
+                "fuzz",
+                "--protocol",
+                "naive",
+                "--channel",
+                "nonfifo",
+                "--seed",
+                "7",
+                "--runs",
+                "5",
+                "--out",
+                str(out),
+                "--json",
+            ]
+        )
+        assert code == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["status"] == "violation"
+        violations = envelope["details"]["violations"]
+        assert violations
+        assert all(v["oracle"].startswith("DL") for v in violations)
+        assert all(v["shrunk_length"] <= 12 for v in violations)
+        repro_files = sorted(out.glob("*.json"))
+        assert repro_files
+
+    def test_replay_reproduces(self, tmp_path, capsys):
+        out = tmp_path / "repros"
+        main(
+            [
+                "fuzz",
+                "--protocol",
+                "naive",
+                "--channel",
+                "nonfifo",
+                "--seed",
+                "7",
+                "--runs",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        repro_file = sorted(out.glob("*.json"))[0]
+        code = main(["fuzz", "--replay", str(repro_file), "--json"])
+        envelope = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert envelope["details"]["reproduced"] is True
+
+    def test_abp_over_fifo_reports_zero_violations(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--protocol",
+                "alternating_bit",
+                "--channel",
+                "fifo",
+                "--seed",
+                "7",
+                "--runs",
+                "5",
+                "--out",
+                str(tmp_path / "repros"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["status"] == "ok"
+        assert envelope["details"]["violations"] == []
+
+    def test_seed_makes_runs_bit_identical(self, tmp_path, capsys):
+        """Two same-seed runs emit identical event streams mod timestamps."""
+        streams = []
+        for name in ("a.jsonl", "b.jsonl"):
+            trace = tmp_path / name
+            main(
+                [
+                    "fuzz",
+                    "--protocol",
+                    "naive",
+                    "--channel",
+                    "nonfifo",
+                    "--seed",
+                    "7",
+                    "--runs",
+                    "3",
+                    "--out",
+                    str(tmp_path / "repros"),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            capsys.readouterr()
+            streams.append([normalize(r) for r in read_jsonl(trace)])
+        assert streams[0] == streams[1]
+
+    def test_different_seeds_diverge(self, tmp_path, capsys):
+        streams = []
+        for seed in ("7", "8"):
+            trace = tmp_path / f"s{seed}.jsonl"
+            main(
+                [
+                    "fuzz",
+                    "--protocol",
+                    "naive",
+                    "--channel",
+                    "nonfifo",
+                    "--seed",
+                    seed,
+                    "--runs",
+                    "3",
+                    "--out",
+                    str(tmp_path / "repros"),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            capsys.readouterr()
+            streams.append([normalize(r) for r in read_jsonl(trace)])
+        assert streams[0] != streams[1]
+
+    def test_corpus_written(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        main(
+            [
+                "fuzz",
+                "--protocol",
+                "stenning",
+                "--channel",
+                "nonfifo",
+                "--seed",
+                "3",
+                "--runs",
+                "3",
+                "--out",
+                str(tmp_path / "repros"),
+                "--corpus",
+                str(corpus),
+            ]
+        )
+        capsys.readouterr()
+        from repro.conformance import load_corpus
+
+        assert load_corpus(corpus)
+
+    def test_list_oracles(self, capsys):
+        assert main(["fuzz", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "DL4" in out and "PL5" in out
+
+    def test_unknown_protocol_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "fuzz",
+                    "--protocol",
+                    "nope",
+                    "--out",
+                    str(tmp_path / "repros"),
+                ]
+            )
+
+    def test_missing_protocol_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz"])
+
+    def test_bad_replay_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = main(["fuzz", "--replay", str(bad)])
+        capsys.readouterr()
+        assert code == 2

@@ -1,0 +1,137 @@
+"""Tests for sub-seed derivation, system building, and admissibility."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conformance import (
+    FAULT_MIXES,
+    FuzzConfig,
+    SubSeeds,
+    build_script,
+    build_system,
+    execute_script,
+    resolve_fuzz_channel,
+    resolve_fuzz_protocol,
+    script_admissible,
+    with_mix,
+)
+
+
+class TestRegistry:
+    def test_every_protocol_resolves(self):
+        from repro.conformance import FUZZ_PROTOCOLS
+
+        for name in FUZZ_PROTOCOLS:
+            assert resolve_fuzz_protocol(name).name
+
+    def test_dash_and_underscore_interchangeable(self):
+        a = resolve_fuzz_protocol("alternating-bit")
+        b = resolve_fuzz_protocol("alternating_bit")
+        assert a.name == b.name
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_fuzz_protocol("nope")
+        with pytest.raises(KeyError):
+            resolve_fuzz_channel("nope")
+
+    def test_fifo_channel_is_fifo_only(self):
+        channel = resolve_fuzz_channel("fifo")("t", "r", 1, 0.2, 4, 64)
+        assert channel.fifo_only
+        nonfifo = resolve_fuzz_channel("nonfifo")("t", "r", 1, 0.2, 4, 64)
+        assert not nonfifo.fifo_only
+
+
+class TestSubSeeds:
+    def test_derivation_deterministic(self):
+        a = SubSeeds.derive(random.Random(9))
+        b = SubSeeds.derive(random.Random(9))
+        assert a == b
+
+    def test_roundtrip(self):
+        seeds = SubSeeds.derive(random.Random(3))
+        assert SubSeeds.from_dict(seeds.to_dict()) == seeds
+
+
+class TestMixes:
+    def test_named_mixes_apply(self):
+        storm = with_mix(FuzzConfig(), "crash-storm")
+        assert storm.crash_probability > 0
+        clean = with_mix(FuzzConfig(), "clean")
+        assert clean.loss_rate == 0.0
+
+    def test_default_mix_has_no_crashes(self):
+        # Crashes legitimately defeat crashing protocols (Theorem 7.5),
+        # so the default mix must not inject them: a correct protocol
+        # fuzzed with defaults must report zero violations.
+        assert FuzzConfig().crash_probability == 0.0
+        assert FAULT_MIXES["default"].get("crash_probability", 0.0) == 0.0
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(KeyError):
+            with_mix(FuzzConfig(), "nope")
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self):
+        config = FuzzConfig()
+        seeds = SubSeeds(11, 22, 33, 44)
+
+        def once():
+            system = build_system("stenning", "nonfifo", seeds, config)
+            script = build_script(system, seeds, config)
+            result = execute_script(system, script.actions, seeds, config)
+            return script.actions, result.behavior, result.steps
+
+        assert once() == once()
+
+    def test_global_rng_untouched(self):
+        config = FuzzConfig()
+        seeds = SubSeeds(11, 22, 33, 44)
+        random.seed(1234)
+        before = random.getstate()
+        system = build_system("alternating_bit", "fifo", seeds, config)
+        script = build_script(system, seeds, config)
+        execute_script(system, script.actions, seeds, config)
+        assert random.getstate() == before
+
+
+class TestAdmissibility:
+    def test_generated_scripts_are_admissible(self):
+        config = with_mix(FuzzConfig(), "crash-storm")
+        for s in range(5):
+            seeds = SubSeeds(s, s + 1, s + 2, s + 3)
+            system = build_system("alternating_bit", "fifo", seeds, config)
+            script = build_script(system, seeds, config)
+            assert script_admissible(script.actions, "t", "r")
+
+    def test_broken_alternation_rejected(self):
+        seeds = SubSeeds(1, 2, 3, 4)
+        system = build_system("alternating_bit", "fifo", seeds, FuzzConfig())
+        bad = (system.wake_t(), system.wake_t(), system.wake_r())
+        assert not script_admissible(bad, "t", "r")
+
+    def test_sleeping_receiver_rejected(self):
+        # Deleting the receiver's wake would let liveness blame fall on
+        # the environment; the admissibility guard must refuse.
+        seeds = SubSeeds(1, 2, 3, 4)
+        system = build_system("alternating_bit", "fifo", seeds, FuzzConfig())
+        bad = (system.wake_t(),)
+        assert not script_admissible(bad, "t", "r")
+
+    def test_send_outside_working_interval_rejected(self):
+        from repro.alphabets import Message
+
+        seeds = SubSeeds(1, 2, 3, 4)
+        system = build_system("alternating_bit", "fifo", seeds, FuzzConfig())
+        bad = (
+            system.wake_t(),
+            system.wake_r(),
+            system.fail_t(),
+            system.send(Message(0, "s")),
+            system.wake_t(),
+        )
+        assert not script_admissible(bad, "t", "r")

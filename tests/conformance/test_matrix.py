@@ -1,0 +1,70 @@
+"""Cross-protocol oracle matrix: every protocol x both permissive channels.
+
+Short CI-friendly campaigns with a pinned seed, so the verdicts are
+deterministic.  The expectations encode the paper's channel taxonomy:
+
+* Over the FIFO channel C-hat every real protocol is clean; only the
+  deliberately broken strawmen violate (naive duplicates, naive_direct
+  loses).
+* Over the non-FIFO channel C-bar only protocols that tolerate
+  reordering stay clean -- Stenning and Baratz-Segall carry unbounded
+  sequence numbers, exactly the Section 8 contrast.  Bounded-header
+  FIFO protocols (alternating-bit and friends) are *expected* to break
+  under reordering; asserting that the fuzzer catches them is as
+  important as asserting the clean runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import FUZZ_PROTOCOLS, FuzzConfig, fuzz_campaign
+
+SEED = 11
+CONFIG = FuzzConfig(runs=3, shrink=False)
+
+#: Protocols that must be clean over each channel at the pinned seed.
+CLEAN_FIFO = sorted(
+    name for name in FUZZ_PROTOCOLS if not name.startswith("naive")
+)
+CLEAN_NONFIFO = ["baratz_segall", "mod_stenning", "stenning"]
+
+#: (protocol, channel) pairs that must produce a violation.
+MUST_VIOLATE = (
+    [("naive", ch) for ch in ("fifo", "nonfifo")]
+    + [("naive_direct", ch) for ch in ("fifo", "nonfifo")]
+    + [
+        ("alternating_bit", "nonfifo"),
+        ("sliding_window", "nonfifo"),
+        ("selective_repeat", "nonfifo"),
+        ("fragmentation", "nonfifo"),
+    ]
+)
+
+
+@pytest.mark.parametrize("protocol", CLEAN_FIFO)
+def test_correct_protocols_clean_over_fifo(protocol):
+    campaign = fuzz_campaign(protocol, "fifo", SEED, CONFIG)
+    assert campaign.violations == [], [
+        v.violation.describe() for v in campaign.violations
+    ]
+
+
+@pytest.mark.parametrize("protocol", CLEAN_NONFIFO)
+def test_reordering_tolerant_protocols_clean_over_nonfifo(protocol):
+    campaign = fuzz_campaign(protocol, "nonfifo", SEED, CONFIG)
+    assert campaign.violations == [], [
+        v.violation.describe() for v in campaign.violations
+    ]
+
+
+@pytest.mark.parametrize("protocol,channel", MUST_VIOLATE)
+def test_broken_combinations_are_caught(protocol, channel):
+    campaign = fuzz_campaign(protocol, channel, SEED, CONFIG)
+    assert campaign.violations, f"{protocol}/{channel} escaped the oracles"
+    assert campaign.report().status == "violation"
+
+
+def test_matrix_covers_every_registered_protocol():
+    covered = set(CLEAN_FIFO) | {p for p, _ in MUST_VIOLATE}
+    assert covered == set(FUZZ_PROTOCOLS)

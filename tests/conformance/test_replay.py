@@ -1,0 +1,92 @@
+"""Tests for repro files: encode/decode, save/load, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    FuzzConfig,
+    ReplayFormatError,
+    SubSeeds,
+    build_script,
+    build_system,
+    decode_script,
+    encode_script,
+    fuzz_campaign,
+    load_repro,
+    replay,
+    save_repro,
+)
+
+
+class TestScriptCodec:
+    def test_roundtrip_with_faults(self):
+        from repro.conformance import with_mix
+
+        config = with_mix(FuzzConfig(), "crash-storm")
+        seeds = SubSeeds(5, 6, 7, 8)
+        system = build_system("alternating_bit", "fifo", seeds, config)
+        script = build_script(system, seeds, config)
+        records = encode_script(system, script.actions)
+        assert decode_script(system, records) == script.actions
+
+    def test_records_are_json_safe(self):
+        config = FuzzConfig()
+        seeds = SubSeeds(5, 6, 7, 8)
+        system = build_system("alternating_bit", "fifo", seeds, config)
+        script = build_script(system, seeds, config)
+        dumped = json.dumps(encode_script(system, script.actions))
+        assert decode_script(system, json.loads(dumped)) == script.actions
+
+    def test_unknown_record_rejected(self):
+        seeds = SubSeeds(5, 6, 7, 8)
+        system = build_system("alternating_bit", "fifo", seeds, FuzzConfig())
+        with pytest.raises(ReplayFormatError):
+            decode_script(system, [{"kind": "meteor-strike"}])
+
+
+class TestReproFiles:
+    def campaign(self):
+        return fuzz_campaign("naive", "nonfifo", 7, FuzzConfig(runs=3))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        campaign = self.campaign()
+        assert campaign.violations
+        document = campaign.violations[0].repro
+        path = save_repro(tmp_path / "repro.json", document)
+        assert load_repro(path) == document
+
+    def test_replay_reproduces_violation(self, tmp_path):
+        campaign = self.campaign()
+        document = campaign.violations[0].repro
+        path = save_repro(tmp_path / "repro.json", document)
+        outcome = replay(path)
+        assert outcome.reproduced
+        assert outcome.oracle == document["oracle"]
+        assert outcome.script_length == len(document["script"])
+
+    def test_replay_is_deterministic(self, tmp_path):
+        campaign = self.campaign()
+        path = save_repro(
+            tmp_path / "repro.json", campaign.violations[0].repro
+        )
+        first = replay(path)
+        second = replay(path)
+        assert first.scenario.behavior == second.scenario.behavior
+
+    def test_shrunk_script_stored(self):
+        campaign = self.campaign()
+        violation = campaign.violations[0]
+        assert violation.repro["shrunk"] is True
+        assert len(violation.repro["script"]) == violation.shrunk_length
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReplayFormatError):
+            load_repro(path)
+        path.write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(ReplayFormatError):
+            load_repro(path)

@@ -305,3 +305,75 @@ class TestInternTable:
         assert len(table) == 2
         assert "a" in table and "c" not in table
         assert table.get("c") is None
+
+
+class TestFuzzSeedDifferential:
+    """Fuzz-discovered sub-seeds become differential fixtures.
+
+    A short pinned campaign donates its per-run :class:`SubSeeds`; each
+    one reconstructs the exact seeded permissive-channel adversary the
+    fuzzer drove, closed with a scripted environment.  Both engines
+    must then agree on the reachable-state set under a shared
+    ``max_states`` budget (permissive counters grow without bound under
+    eager retransmission, so the budget is what keeps the space
+    finite -- this leans on the truncation-equivalence contract).
+    """
+
+    @staticmethod
+    def discovered_subseeds():
+        from repro.conformance import FuzzConfig, fuzz_campaign
+
+        campaign = fuzz_campaign(
+            "alternating_bit", "fifo", 11, FuzzConfig(runs=2, shrink=False)
+        )
+        return [run.subseeds for run in campaign.runs]
+
+    @staticmethod
+    def build_fuzz_seeded_system(subseeds):
+        from repro.alphabets import MessageFactory
+        from repro.analysis import ScriptedEnvironment
+        from repro.conformance import FuzzConfig, resolve_fuzz_channel
+
+        config = FuzzConfig()
+        build_channel = resolve_fuzz_channel("fifo")
+
+        def channel(src, dst, seed):
+            return build_channel(
+                src,
+                dst,
+                seed,
+                config.loss_rate,
+                config.reorder_window,
+                config.horizon,
+            )
+
+        transmitter, receiver = alternating_bit_protocol().build(
+            "t", "r", ghost_uids=False
+        )
+        batch = MessageFactory(label="v").fresh_many(2)
+        return Composition(
+            [
+                transmitter,
+                receiver,
+                channel("t", "r", subseeds.channel_tr),
+                channel("r", "t", subseeds.channel_rt),
+                ScriptedEnvironment("t", "r", batch),
+            ],
+            name="fuzz-seeded",
+        )
+
+    @pytest.mark.parametrize("index", [0, 1])
+    def test_engines_agree_on_fuzz_discovered_seed(self, index):
+        subseeds = self.discovered_subseeds()[index]
+        engine = explore(
+            self.build_fuzz_seeded_system(subseeds), max_states=400
+        )
+        reference = explore(
+            self.build_fuzz_seeded_system(subseeds),
+            max_states=400,
+            engine="reference",
+        )
+        assert len(engine.states) > 1
+        assert engine.states == reference.states
+        assert engine.truncated == reference.truncated
+        assert (engine.violation is None) == (reference.violation is None)

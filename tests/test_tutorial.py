@@ -245,3 +245,53 @@ class TestSection9Observability:
             and "crash" in e.fields.get("action", "")
         ]
         assert crash_steps
+
+
+class TestSection10Fuzzing:
+    """Mirrors tutorial section 10: the fuzzing walkthrough."""
+
+    def campaign(self):
+        from repro.conformance import FuzzConfig, fuzz_campaign
+
+        return fuzz_campaign("naive", "nonfifo", 7, FuzzConfig(runs=1))
+
+    def test_worked_shrink_numbers(self):
+        campaign = self.campaign()
+        violation = campaign.violations[0]
+        assert violation.violation.oracle == "DL4"
+        assert violation.shrink.original_length == 8
+        assert violation.shrunk_length == 3
+        # wake_t . wake_r . send_msg(s0) is the locally-minimal core.
+        assert [a.name for a in violation.shrink.actions] == [
+            "wake",
+            "wake",
+            "send_msg",
+        ]
+        assert "received at events" in violation.violation.witness
+
+    def test_replay_file_reproduces(self, tmp_path):
+        from repro.conformance import replay, save_repro
+
+        campaign = self.campaign()
+        path = save_repro(
+            tmp_path / "repro.json", campaign.violations[0].repro
+        )
+        outcome = replay(path)
+        assert outcome.reproduced
+        assert outcome.oracle == "DL4"
+
+    def test_abp_is_acquitted_over_fifo(self):
+        from repro.conformance import FuzzConfig, fuzz_campaign
+
+        campaign = fuzz_campaign(
+            "alternating_bit", "fifo", 7, FuzzConfig(runs=3)
+        )
+        assert campaign.violations == []
+        assert campaign.report().status == "ok"
+
+    def test_default_mix_injects_no_crashes(self):
+        # Theorem 7.5: crashes legitimately defeat crashing protocols,
+        # so a default-campaign crash conviction would prove nothing.
+        from repro.conformance import FuzzConfig
+
+        assert FuzzConfig().crash_probability == 0.0
