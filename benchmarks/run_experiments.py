@@ -14,8 +14,11 @@ the report to ``bench/BENCH_explore.json`` (or PATH).
 ``--bench-trace[=PATH]`` runs one benchmark exploration under full
 tracing and writes its JSONL event stream (plus run manifest) to
 ``bench/BENCH_explore_trace.jsonl`` (or PATH) — CI uploads this as an
-artifact.  With no experiment names given alongside either flag, only
-the benchmark runs.
+artifact.  ``--bench-fuzz[=PATH]`` benchmarks fuzz-campaign throughput
+through the worker pool against serial campaigns (runs/sec per case,
+with a built-in serial-vs-pooled determinism cross-check) and writes
+``bench/BENCH_fuzz.json`` (or PATH).  With no experiment names given
+alongside any flag, only the benchmarks run.
 """
 
 from __future__ import annotations
@@ -23,6 +26,10 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import run_all, to_text
+from repro.conformance.bench import (
+    DEFAULT_FUZZ_PATH,
+    write_fuzz_bench_json,
+)
 from repro.ioa.engine.bench import (
     DEFAULT_PATH,
     TRACE_PATH,
@@ -35,6 +42,7 @@ def main() -> None:
     argv = list(sys.argv[1:])
     bench_path = None
     trace_path = None
+    fuzz_path = None
     for arg in list(argv):
         if arg == "--bench-explore":
             bench_path = DEFAULT_PATH
@@ -48,7 +56,17 @@ def main() -> None:
         elif arg.startswith("--bench-trace="):
             trace_path = arg.split("=", 1)[1] or TRACE_PATH
             argv.remove(arg)
-    if (bench_path is None and trace_path is None) or argv:
+        elif arg == "--bench-fuzz":
+            fuzz_path = DEFAULT_FUZZ_PATH
+            argv.remove(arg)
+        elif arg.startswith("--bench-fuzz="):
+            fuzz_path = arg.split("=", 1)[1] or DEFAULT_FUZZ_PATH
+            argv.remove(arg)
+    if (
+        bench_path is None
+        and trace_path is None
+        and fuzz_path is None
+    ) or argv:
         only = argv or None
         print(to_text(run_all(only=only)))
     if trace_path is not None:
@@ -67,6 +85,21 @@ def main() -> None:
                 f"  {key:18s} {row['states']:7d} states  "
                 f"engine {row['engine_states_per_sec']:10.0f}/s  "
                 f"reference {row['reference_states_per_sec']:9.0f}/s  "
+                f"speedup {row['speedup']:.2f}x"
+            )
+        print(f"  median speedup: {report['median_speedup']:.2f}x")
+    if fuzz_path is not None:
+        report = write_fuzz_bench_json(fuzz_path)
+        print(
+            f"wrote {fuzz_path} (workers={report['workers']}, "
+            f"cpu_count={report['cpu_count']})"
+        )
+        for key, row in report["cases"].items():
+            print(
+                f"  {key:24s} {row['runs']:4d} runs  "
+                f"serial {row['serial_runs_per_sec']:7.1f}/s  "
+                f"pool[{row['pool_mode']}] "
+                f"{row['pool_runs_per_sec']:7.1f}/s  "
                 f"speedup {row['speedup']:.2f}x"
             )
         print(f"  median speedup: {report['median_speedup']:.2f}x")

@@ -568,11 +568,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         FuzzConfig,
         append_entries,
         fuzz_campaign,
+        load_corpus,
         oracle_catalog,
         replay,
         save_repro,
         with_mix,
     )
+    from .conformance.registry import _normalize
 
     started = time.perf_counter()
 
@@ -653,12 +655,32 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     }
     config = dataclasses.replace(config, **overrides)
     config_dict = dataclasses.asdict(config)
+
+    # Corpus entries for this (protocol, channel) are replayed first:
+    # their sub-seeds occupy run indices 0..k-1 ahead of the freshly
+    # derived schedule.
+    replay_subseeds = []
+    if args.corpus:
+        for entry in load_corpus(args.corpus):
+            if _normalize(entry.protocol) != _normalize(args.protocol):
+                continue
+            if _normalize(entry.channel) != _normalize(args.channel):
+                continue
+            if entry.subseeds not in replay_subseeds:
+                replay_subseeds.append(entry.subseeds)
+
     with _maybe_traced(
         args, "fuzz", args.protocol, args.seed, config_dict
     ) as tracer:
         try:
             campaign = fuzz_campaign(
-                args.protocol, args.channel, args.seed, config
+                args.protocol,
+                args.channel,
+                args.seed,
+                config,
+                replay_subseeds=replay_subseeds,
+                workers=args.workers,
+                run_timeout=args.run_timeout,
             )
         except KeyError as exc:
             raise SystemExit(str(exc.args[0]))
@@ -671,8 +693,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             f"-run{violation.run_index}-{violation.violation.oracle}.json"
         ).replace("_", "-")
         repro_paths.append(str(save_repro(out_dir / name, violation.repro)))
-    if args.corpus and campaign.corpus:
-        append_entries(args.corpus, campaign.corpus)
+    # Only freshly derived runs may enter the corpus: replayed entries
+    # would otherwise duplicate themselves on every campaign.
+    corpus_new = [
+        entry
+        for entry in campaign.corpus
+        if entry.subseeds not in replay_subseeds
+    ]
+    if args.corpus and corpus_new:
+        append_entries(args.corpus, corpus_new)
 
     lines = [
         f"fuzzed {args.protocol} over {args.channel} "
@@ -681,6 +710,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         f"{campaign.states_interned} distinct states, "
         f"{campaign.oracle_checks} oracle checks"
     ]
+    if replay_subseeds:
+        lines.append(
+            f"  corpus: replayed {len(replay_subseeds)} entries first"
+        )
+    if campaign.failed_runs:
+        lines.append(
+            f"  {campaign.failed_runs} run(s) failed "
+            f"(contained; see fuzz.failed_runs)"
+        )
     for violation, path in zip(campaign.violations, repro_paths):
         lines.append(
             f"  run {violation.run_index}: "
@@ -694,16 +732,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         lines.append(f"  deep oracles: {campaign.deep}")
     if not campaign.violations:
         lines.append("  all oracles held on every run")
-    if args.corpus and campaign.corpus:
+    if args.corpus and corpus_new:
         lines.append(
-            f"  corpus: +{len(campaign.corpus)} entries -> {args.corpus}"
+            f"  corpus: +{len(corpus_new)} entries -> {args.corpus}"
         )
 
     report = campaign.report()
     report.duration_s = time.perf_counter() - started
+    if args.corpus:
+        report.details["corpus_replayed"] = len(replay_subseeds)
     for index, path in enumerate(repro_paths):
         report.artifacts[f"repro_{index}"] = path
-    if args.corpus and campaign.corpus:
+    if args.corpus and corpus_new:
         report.artifacts["corpus"] = args.corpus
     report = _merge_trace(report, args, tracer)
     return _emit(args, report, lines)
@@ -1014,7 +1054,24 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--corpus",
         metavar="FILE.jsonl",
-        help="append interesting seeds to this corpus registry",
+        help="corpus registry: matching entries are replayed first, "
+        "and this campaign's interesting seeds are appended",
+    )
+    fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard runs across N forked workers (deterministic "
+        "merge: output is byte-identical to --workers 1)",
+    )
+    fuzz.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per run; a run that exceeds it is "
+        "recorded as failed instead of hanging the campaign",
     )
     fuzz.add_argument(
         "--replay",

@@ -25,6 +25,12 @@ from .fuzzer import (
     ViolationReport,
     fuzz_campaign,
 )
+from .pool import (
+    RunOutcome,
+    RunTimeout,
+    execute_run,
+    run_schedule,
+)
 from .oracles import (
     DL_ORACLES,
     PL_ORACLES,
@@ -65,7 +71,9 @@ __all__ = [
     "PL_ORACLES",
     "ReplayFormatError",
     "ReplayResult",
+    "RunOutcome",
     "RunRecord",
+    "RunTimeout",
     "ShrinkResult",
     "SubSeeds",
     "ViolationReport",
@@ -76,8 +84,10 @@ __all__ = [
     "decode_script",
     "earliest_violating_prefix",
     "encode_script",
+    "execute_run",
     "execute_script",
     "fuzz_campaign",
+    "run_schedule",
     "load_corpus",
     "load_repro",
     "make_repro",

@@ -1,0 +1,141 @@
+"""Runs/sec benchmark emitter for the conformance fuzzer.
+
+Times default fuzz campaigns serially and through the worker pool and
+writes the results to ``bench/BENCH_fuzz.json`` so the fuzzing-throughput
+trajectory is tracked from PR to PR.  Run via::
+
+    python benchmarks/run_experiments.py --bench-fuzz
+
+or programmatically through :func:`write_fuzz_bench_json`.
+
+Every case is cross-checked while it is timed: the serial and pooled
+campaigns must agree field-for-field (violations, corpus, counters), so
+a benchmark run is also a determinism test of the parallel merge.  The
+report records ``cpu_count`` next to the speedup: pool scaling is
+bounded by the cores actually available (a 1-CPU container cannot beat
+serial, however many workers it forks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from statistics import median
+from typing import Dict, Iterable, Tuple
+
+DEFAULT_FUZZ_PATH = os.path.join("bench", "BENCH_fuzz.json")
+
+#: (case key, protocol, channel, runs, shrink)
+#: sliding-window runs shrink-free: at this seed one of its violating
+#: scripts shrinks for minutes (400 re-executions of near-max_steps
+#: runs), which would time the shrinker, not campaign throughput.
+DEFAULT_FUZZ_CASES: Tuple[Tuple[str, str, str, int, bool], ...] = (
+    ("naive-nonfifo", "naive", "nonfifo", 48, True),
+    ("abp-fifo", "alternating_bit", "fifo", 96, True),
+    ("sliding-window-nonfifo", "sliding_window", "nonfifo", 48, False),
+)
+
+DEFAULT_WORKERS = 4
+
+
+def _campaign_fingerprint(campaign) -> Dict:
+    """The outcome fields the determinism contract covers."""
+    report = campaign.report().to_dict()
+    report["duration_s"] = None
+    report["details"].pop("pool", None)
+    return {
+        "report": report,
+        "repros": [v.repro for v in campaign.violations],
+        "corpus": [entry.to_dict() for entry in campaign.corpus],
+        "subseeds": [run.subseeds for run in campaign.runs],
+    }
+
+
+def _time_campaign(run_campaign, repeats: int):
+    """Median wall-clock over ``repeats`` campaigns; returns (s, result)."""
+    timings = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_campaign()
+        timings.append(time.perf_counter() - started)
+    return median(timings), result
+
+
+def run_fuzz_bench(
+    cases: Iterable[Tuple[str, str, str, int, bool]] = DEFAULT_FUZZ_CASES,
+    repeats: int = 3,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 11,
+) -> Dict:
+    """Benchmark pooled vs. serial campaigns on each case."""
+    from .fuzzer import fuzz_campaign
+    from .harness import FuzzConfig
+
+    report: Dict = {
+        "generated_by": "repro.conformance.bench",
+        "repeats": repeats,
+        "workers": workers,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "cases": {},
+    }
+    speedups = []
+    for key, protocol, channel, runs, shrink in cases:
+        config = FuzzConfig(runs=runs, shrink=shrink)
+
+        serial_seconds, serial_result = _time_campaign(
+            lambda: fuzz_campaign(protocol, channel, seed, config),
+            repeats,
+        )
+        pool_seconds, pool_result = _time_campaign(
+            lambda: fuzz_campaign(
+                protocol, channel, seed, config, workers=workers
+            ),
+            repeats,
+        )
+        if _campaign_fingerprint(serial_result) != _campaign_fingerprint(
+            pool_result
+        ):
+            raise AssertionError(
+                f"{key}: pooled campaign diverged from serial"
+            )
+        speedup = serial_seconds / pool_seconds
+        speedups.append(speedup)
+        report["cases"][key] = {
+            "protocol": protocol,
+            "channel": channel,
+            "runs": runs,
+            "shrink": shrink,
+            "violations": len(serial_result.violations),
+            "states_interned": serial_result.states_interned,
+            "serial_seconds": round(serial_seconds, 6),
+            "serial_runs_per_sec": round(runs / serial_seconds, 1),
+            "pool_mode": pool_result.pool.get("mode"),
+            "pool_seconds": round(pool_seconds, 6),
+            "pool_runs_per_sec": round(runs / pool_seconds, 1),
+            "speedup": round(speedup, 2),
+        }
+    report["median_speedup"] = round(median(speedups), 2)
+    return report
+
+
+def write_fuzz_bench_json(
+    path: str = DEFAULT_FUZZ_PATH,
+    cases: Iterable[Tuple[str, str, str, int, bool]] = DEFAULT_FUZZ_CASES,
+    repeats: int = 3,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 11,
+) -> Dict:
+    """Run the fuzz benchmark and write the JSON report to ``path``."""
+    report = run_fuzz_bench(
+        cases=cases, repeats=repeats, workers=workers, seed=seed
+    )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

@@ -6,8 +6,9 @@ fresh system against sub-seeded channel adversaries, generates a
 well-formed fault script, executes it under seeded fair interleaving,
 and checks the execution against every applicable oracle
 (:mod:`repro.conformance.oracles`).  Violating runs are shrunk to
-locally-minimal scripts (:mod:`repro.conformance.shrink`) and packaged
-as replayable repro documents (:mod:`repro.conformance.replay`).
+locally-minimal scripts (:mod:`repro.conformance.shrink`) -- one
+repro per *distinct violated oracle* per run -- and packaged as
+replayable repro documents (:mod:`repro.conformance.replay`).
 
 Coverage is measured with the exploration engine's
 :class:`~repro.ioa.engine.interning.InternTable`: every system state an
@@ -15,6 +16,13 @@ execution visits is interned, and a run that contributes many
 first-seen states is recorded in the corpus even if it violated
 nothing.  Campaigns are bit-deterministic in their seed: no module on
 this path touches the global RNG.
+
+Runs are executed through :mod:`repro.conformance.pool`: the full
+sub-seed schedule is derived serially up front, runs fan out to a
+fork pool (``workers > 1``) or run in-process, and the master merges
+outcomes in run-index order -- interning states, assigning corpus
+credit and replaying each run's captured obs events -- so a parallel
+campaign is byte-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -31,14 +39,8 @@ from ..obs import (
     current_tracer,
 )
 from .corpus import DEFAULT_COVERAGE_THRESHOLD, CorpusEntry
-from .harness import (
-    FuzzConfig,
-    SubSeeds,
-    build_script,
-    build_system,
-    execute_script,
-)
-from .oracles import OracleViolation, check_execution
+from .harness import FuzzConfig, SubSeeds
+from .oracles import OracleViolation
 from .replay import make_repro
 from .shrink import ShrinkResult, shrink_script
 
@@ -74,7 +76,13 @@ class ViolationReport:
 
 @dataclass
 class RunRecord:
-    """Summary of one fuzz run."""
+    """Summary of one fuzz run.
+
+    ``error`` is set for contained failures -- a run that raised, timed
+    out (``run_timeout``) or lost its worker process; such a run
+    contributes nothing to coverage or the corpus but still occupies
+    its schedule slot, so the campaign's run indices stay stable.
+    """
 
     index: int
     subseeds: SubSeeds
@@ -83,6 +91,7 @@ class RunRecord:
     behavior_length: int
     new_states: int
     violations: List[OracleViolation] = field(default_factory=list)
+    error: Optional[str] = None
 
 
 @dataclass
@@ -99,23 +108,36 @@ class FuzzCampaignResult:
     states_interned: int
     oracle_checks: int
     deep: dict = field(default_factory=dict)
+    pool: dict = field(default_factory=dict)
     duration_s: float = 0.0
 
     @property
     def found_violation(self) -> bool:
-        return bool(self.violations) or not self.deep.get(
-            "message_independent", True
+        return (
+            bool(self.violations)
+            or not self.deep.get("message_independent", True)
+            or not self.deep.get("k_bound_delivered", True)
         )
+
+    @property
+    def failed_runs(self) -> int:
+        return sum(1 for run in self.runs if run.error is not None)
 
     def report(self) -> RunReport:
         counters = {
             "fuzz.runs": len(self.runs),
+            "fuzz.failed_runs": self.failed_runs,
             "fuzz.oracle_checks": self.oracle_checks,
             "fuzz.violations": len(self.violations),
+            "fuzz.violating_runs": sum(
+                1 for run in self.runs if run.violations
+            ),
             "fuzz.states_interned": self.states_interned,
             "fuzz.steps": sum(run.steps for run in self.runs),
             "fuzz.nonquiescent_runs": sum(
-                1 for run in self.runs if not run.quiescent
+                1
+                for run in self.runs
+                if not run.quiescent and run.error is None
             ),
             "fuzz.shrink_executions": sum(
                 v.shrink.attempts for v in self.violations if v.shrink
@@ -130,6 +152,11 @@ class FuzzCampaignResult:
         }
         if self.deep:
             details["deep"] = dict(self.deep)
+        if self.pool:
+            # Which pool executed the campaign is telemetry, not an
+            # outcome: byte-identity between worker counts is over
+            # everything *except* this key (and duration_s).
+            details["pool"] = dict(self.pool)
         return RunReport(
             command="fuzz",
             status=STATUS_VIOLATION if self.found_violation else STATUS_OK,
@@ -146,14 +173,33 @@ def fuzz_campaign(
     config: Optional[FuzzConfig] = None,
     replay_subseeds: Optional[Sequence[SubSeeds]] = None,
     coverage_threshold: int = DEFAULT_COVERAGE_THRESHOLD,
+    workers: int = 1,
+    run_timeout: Optional[float] = None,
 ) -> FuzzCampaignResult:
     """Run one fuzz campaign.
 
     ``replay_subseeds`` (e.g. from a loaded corpus) are fuzzed first,
     before ``config.runs`` freshly derived runs.  Determinism contract:
     two campaigns with equal arguments produce identical results,
-    including identical shrunk scripts and repro documents.
+    including identical shrunk scripts and repro documents -- and
+    ``workers`` is *not* part of the outcome: the sub-seed schedule is
+    derived serially before any run executes, workers return pure
+    per-run outcomes, and the master interns states and assigns
+    corpus/coverage credit in run-index order, so ``workers=N`` is
+    byte-identical to ``workers=1`` (violations, repro documents,
+    corpus entries, counters, trace events).  ``run_timeout`` bounds
+    each run's wall-clock seconds; a run that exceeds it (or raises, or
+    loses its worker) is recorded as a failed :class:`RunRecord`
+    instead of aborting the campaign.
     """
+    from .pool import run_schedule
+    from .registry import resolve_fuzz_channel, resolve_fuzz_protocol
+
+    # Configuration errors are not contained failures: validate the
+    # registry names eagerly, before any run is scheduled.
+    resolve_fuzz_protocol(protocol)
+    resolve_fuzz_channel(channel)
+
     config = config or FuzzConfig()
     tracer = current_tracer()
     started = time.perf_counter()
@@ -163,74 +209,99 @@ def fuzz_campaign(
     violations: List[ViolationReport] = []
     corpus: List[CorpusEntry] = []
     oracle_checks = 0
+    failures = 0
+    timeouts = 0
 
     schedule: List[SubSeeds] = list(replay_subseeds or ())
     schedule += [SubSeeds.derive(master) for _ in range(config.runs)]
 
-    for index, subseeds in enumerate(schedule):
-        with tracer.span("fuzz.run", index=index, seed=seed):
-            if tracer.enabled:
-                tracer.count("fuzz.runs")
-            system = build_system(protocol, channel, subseeds, config)
-            script = build_script(system, subseeds, config)
-            result = execute_script(system, script.actions, subseeds, config)
-            before = len(table)
-            for state in result.fragment.states:
-                table.intern(state)
-            new_states = len(table) - before
-            if tracer.enabled:
-                tracer.count("fuzz.states_interned", new_states)
-            found = check_execution(system, result)
-            oracle_checks += _checks_for(result, system)
-            runs.append(
-                RunRecord(
-                    index=index,
-                    subseeds=subseeds,
-                    steps=result.steps,
-                    quiescent=result.quiescent,
-                    behavior_length=len(result.behavior),
-                    new_states=new_states,
-                    violations=found,
-                )
-            )
-            if found:
-                violations.append(
-                    _package_violation(
-                        protocol,
-                        channel,
-                        seed,
-                        index,
-                        subseeds,
-                        config,
-                        system,
-                        script.actions,
-                        found[0],
+    with tracer.span("fuzz.pool", runs=len(schedule)):
+        if tracer.enabled:
+            tracer.count("fuzz.pool.dispatched", len(schedule))
+        outcomes, mode = run_schedule(
+            protocol,
+            channel,
+            seed,
+            schedule,
+            config,
+            workers=workers,
+            run_timeout=run_timeout,
+            capture=tracer.enabled,
+        )
+        for outcome in outcomes:
+            index, subseeds = outcome.index, outcome.subseeds
+            with tracer.span("fuzz.run", index=index, seed=seed):
+                if tracer.enabled:
+                    tracer.count("fuzz.runs")
+                if outcome.error is not None:
+                    failures += 1
+                    timeouts += 1 if outcome.timed_out else 0
+                    if tracer.enabled:
+                        tracer.count("fuzz.pool.failures")
+                        tracer.point(
+                            "fuzz.run.error",
+                            index=index,
+                            error=outcome.error,
+                        )
+                    runs.append(
+                        RunRecord(
+                            index=index,
+                            subseeds=subseeds,
+                            steps=0,
+                            quiescent=False,
+                            behavior_length=0,
+                            new_states=0,
+                            error=outcome.error,
+                        )
                     )
-                )
-                corpus.append(
-                    CorpusEntry(
-                        protocol,
-                        channel,
-                        seed,
-                        index,
-                        subseeds,
-                        reason="violation",
-                        oracle=found[0].oracle,
+                    continue
+                tracer.absorb(outcome.pre_events)
+                before = len(table)
+                for state in outcome.states:
+                    table.intern(state)
+                new_states = len(table) - before
+                if tracer.enabled:
+                    tracer.count("fuzz.states_interned", new_states)
+                tracer.absorb(outcome.post_events)
+                oracle_checks += outcome.oracle_checks
+                runs.append(
+                    RunRecord(
+                        index=index,
+                        subseeds=subseeds,
+                        steps=outcome.steps,
+                        quiescent=outcome.quiescent,
+                        behavior_length=outcome.behavior_length,
                         new_states=new_states,
+                        violations=outcome.found,
                     )
                 )
-            elif new_states >= coverage_threshold:
-                corpus.append(
-                    CorpusEntry(
-                        protocol,
-                        channel,
-                        seed,
-                        index,
-                        subseeds,
-                        reason="coverage",
-                        new_states=new_states,
+                if outcome.violations:
+                    violations.extend(outcome.violations)
+                    for packaged in outcome.violations:
+                        corpus.append(
+                            CorpusEntry(
+                                protocol,
+                                channel,
+                                seed,
+                                index,
+                                subseeds,
+                                reason="violation",
+                                oracle=packaged.violation.oracle,
+                                new_states=new_states,
+                            )
+                        )
+                elif new_states >= coverage_threshold:
+                    corpus.append(
+                        CorpusEntry(
+                            protocol,
+                            channel,
+                            seed,
+                            index,
+                            subseeds,
+                            reason="coverage",
+                            new_states=new_states,
+                        )
                     )
-                )
 
     deep = _deep_oracles(protocol, config, tracer) if config.deep_oracles else {}
 
@@ -245,6 +316,13 @@ def fuzz_campaign(
         states_interned=len(table),
         oracle_checks=oracle_checks,
         deep=deep,
+        pool={
+            "mode": mode,
+            "workers": max(1, int(workers)),
+            "run_timeout": run_timeout,
+            "failures": failures,
+            "timeouts": timeouts,
+        },
         duration_s=time.perf_counter() - started,
     )
     if tracer.enabled:
@@ -316,7 +394,11 @@ def _deep_oracles(protocol: str, config: FuzzConfig, tracer) -> dict:
     """Whole-protocol oracles: message independence and the k-bound probe.
 
     These analyze the protocol itself rather than one execution, so they
-    run once per campaign (opt-in: they cost an exploration each).
+    run once per campaign (opt-in: they cost an exploration each).  Both
+    carry an explicit boolean verdict that feeds ``found_violation``:
+    ``message_independent`` and ``k_bound_delivered`` (False when the
+    probe could not transmit a fresh message within its budget, i.e. the
+    protocol refutes its own boundedness/liveness claim).
     """
     from ..datalink.kbounded import probe_k_bound
     from ..datalink.message_independence import check_message_independence
@@ -330,4 +412,7 @@ def _deep_oracles(protocol: str, config: FuzzConfig, tracer) -> dict:
             deep["message_independence_detail"] = independence.detail
         kbound = probe_k_bound(resolve_fuzz_protocol(protocol))
         deep["k_bound"] = kbound.k
+        deep["k_bound_delivered"] = bool(kbound.delivered)
+        if not kbound.delivered:
+            deep["k_bound_detail"] = kbound.detail
     return deep

@@ -1,0 +1,375 @@
+"""Process-pool execution of a fuzz campaign's run schedule.
+
+Each fuzz run is independent once its :class:`SubSeeds` are derived:
+the system, script, execution, oracle verdicts and shrunk repros are
+all pure functions of ``(protocol, channel, seed, index, subseeds,
+config)``.  The campaign therefore derives the full sub-seed schedule
+serially up front (bit-identical to a serial campaign) and fans the
+runs out to a ``multiprocessing`` fork pool; only campaign-global state
+-- the :class:`~repro.ioa.engine.interning.InternTable`, corpus credit
+and the obs event stream -- stays with the master, which merges worker
+results **in run-index order**.  The merge is what makes ``workers=N``
+byte-identical to ``workers=1``: interning order, corpus order,
+violation order and the trace stream never depend on which worker
+finished first.
+
+Following :mod:`repro.ioa.engine.parallel`: workers are forked (the
+registries and config are inherited, only sub-seeds go in and run
+outcomes come out), short schedules are executed in-process (forking
+pays off only once there is enough work to amortize pool start-up),
+and on platforms without a ``fork`` start method the schedule silently
+degrades to serial.
+
+Two hardening guards ride along, applied identically in serial and
+pool mode:
+
+* a per-run wall-clock guard (``run_timeout`` seconds, SIGALRM-based
+  where available) that abandons a runaway run instead of hanging the
+  campaign; and
+* worker-crash containment: any exception escaping a run -- a protocol
+  bug, a timeout, a dying worker process -- is recorded as a *failed
+  run* (:class:`RunOutcome` with ``error`` set) and the campaign
+  continues.
+
+Note that a triggered timeout is inherently wall-clock-dependent, so a
+campaign that hits one is only deterministic in its surviving runs;
+the default (no timeout) preserves the full determinism contract.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..ioa.automaton import State
+from ..obs import MemorySink, set_tracer, tracing
+from ..obs.events import Event
+from .harness import FuzzConfig, SubSeeds, build_script, build_system, execute_script
+from .oracles import OracleViolation, check_execution
+
+#: Below this many scheduled runs the campaign stays in-process: pool
+#: start-up (forking ``workers`` interpreters) costs more than the runs.
+PARALLEL_THRESHOLD = 2
+
+
+class RunTimeout(Exception):
+    """A fuzz run exceeded the campaign's per-run wall-clock budget."""
+
+
+@dataclass
+class RunOutcome:
+    """Everything one fuzz run sends back to the campaign master.
+
+    ``states`` are the visited-state fingerprints in execution order;
+    the master interns them (in run-index order) to assign coverage
+    credit, so workers never touch the shared
+    :class:`~repro.ioa.engine.interning.InternTable`.  ``pre_events``
+    and ``post_events`` are the run's captured obs chunks -- everything
+    emitted before and after the interning point of a serial campaign
+    loop -- which the master replays around its own
+    ``fuzz.states_interned`` counter to reproduce the serial stream.
+    """
+
+    index: int
+    subseeds: SubSeeds
+    steps: int = 0
+    quiescent: bool = False
+    behavior_length: int = 0
+    states: Tuple[State, ...] = ()
+    found: List[OracleViolation] = field(default_factory=list)
+    violations: List["ViolationReport"] = field(default_factory=list)  # noqa: F821
+    oracle_checks: int = 0
+    pre_events: Tuple[Event, ...] = ()
+    post_events: Tuple[Event, ...] = ()
+    error: Optional[str] = None
+    timed_out: bool = False
+    duration_s: float = 0.0
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Raise :class:`RunTimeout` if the block runs longer than ``seconds``.
+
+    SIGALRM-based, so it interrupts a wedged run mid-step (a plain
+    after-the-fact duration check could not).  Silently a no-op when
+    timers are unavailable (non-POSIX platforms, non-main threads).
+    """
+    if not seconds or not hasattr(signal, "setitimer"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded the {seconds}s wall-clock budget")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # pragma: no cover - not in the main thread
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _capturing(capture: bool):
+    """Capture the block's obs events into a list (empty when off).
+
+    The list is filled when the block *exits* (``MemorySink.events`` is
+    a snapshot), so read it only after the ``with`` statement.
+    """
+    if not capture:
+        yield []
+        return
+    sink = MemorySink()
+    captured: list = []
+    with tracing(sink):
+        yield captured
+    captured.extend(sink.events)
+
+
+def execute_run(
+    protocol: str,
+    channel: str,
+    seed: int,
+    index: int,
+    subseeds: SubSeeds,
+    config: FuzzConfig,
+    capture: bool = False,
+    run_timeout: Optional[float] = None,
+) -> RunOutcome:
+    """One complete fuzz run: build, execute, judge, shrink, package.
+
+    Pure in its arguments (modulo wall-clock fields), which is the
+    whole parallelization argument: the master can replay the outcome
+    stream in index order and obtain the serial campaign verbatim.
+    Every exception is contained into a failed-run outcome.
+    """
+    from .fuzzer import _checks_for, _package_violation
+
+    started = time.perf_counter()
+    try:
+        with _alarm(run_timeout):
+            with _capturing(capture) as pre_events:
+                system = build_system(protocol, channel, subseeds, config)
+                script = build_script(system, subseeds, config)
+                result = execute_script(
+                    system, script.actions, subseeds, config
+                )
+            with _capturing(capture) as post_events:
+                found = check_execution(system, result)
+                oracle_checks = _checks_for(result, system)
+                packaged = []
+                seen = set()
+                for violation in found:
+                    if violation.oracle in seen:
+                        continue
+                    seen.add(violation.oracle)
+                    packaged.append(
+                        _package_violation(
+                            protocol,
+                            channel,
+                            seed,
+                            index,
+                            subseeds,
+                            config,
+                            system,
+                            script.actions,
+                            violation,
+                        )
+                    )
+    except RunTimeout as exc:
+        return RunOutcome(
+            index=index,
+            subseeds=subseeds,
+            error=str(exc),
+            timed_out=True,
+            duration_s=time.perf_counter() - started,
+        )
+    except Exception as exc:  # containment: a bad run must not kill the campaign
+        return RunOutcome(
+            index=index,
+            subseeds=subseeds,
+            error=f"{type(exc).__name__}: {exc}",
+            duration_s=time.perf_counter() - started,
+        )
+    return RunOutcome(
+        index=index,
+        subseeds=subseeds,
+        steps=result.steps,
+        quiescent=result.quiescent,
+        behavior_length=len(result.behavior),
+        states=tuple(result.fragment.states),
+        found=found,
+        violations=packaged,
+        oracle_checks=oracle_checks,
+        pre_events=tuple(pre_events),
+        post_events=tuple(post_events),
+        error=None,
+        duration_s=time.perf_counter() - started,
+    )
+
+
+# Worker-side globals, installed by the fork initializer.
+_WORKER: dict = {}
+
+
+def _init_worker(
+    protocol: str,
+    channel: str,
+    seed: int,
+    config: FuzzConfig,
+    capture: bool,
+    run_timeout: Optional[float],
+) -> None:
+    # The fork inherits the master's installed tracer -- including any
+    # open JSONL sink file handle.  Detach immediately: workers capture
+    # into per-run MemorySinks and the master replays the chunks.
+    set_tracer(None)
+    _WORKER.update(
+        protocol=protocol,
+        channel=channel,
+        seed=seed,
+        config=config,
+        capture=capture,
+        run_timeout=run_timeout,
+    )
+
+
+def _pool_run(task: Tuple[int, SubSeeds]) -> RunOutcome:
+    index, subseeds = task
+    return execute_run(
+        _WORKER["protocol"],
+        _WORKER["channel"],
+        _WORKER["seed"],
+        index,
+        subseeds,
+        _WORKER["config"],
+        capture=_WORKER["capture"],
+        run_timeout=_WORKER["run_timeout"],
+    )
+
+
+def run_schedule(
+    protocol: str,
+    channel: str,
+    seed: int,
+    schedule: Sequence[SubSeeds],
+    config: FuzzConfig,
+    workers: int = 1,
+    run_timeout: Optional[float] = None,
+    capture: bool = False,
+    parallel_threshold: int = PARALLEL_THRESHOLD,
+) -> Tuple[Iterator[RunOutcome], str]:
+    """Execute the schedule; yields outcomes strictly in run-index order.
+
+    Returns ``(outcome iterator, mode)`` where ``mode`` is ``"fork"``
+    when a process pool is actually used and ``"serial"`` otherwise
+    (``workers <= 1``, schedule below the threshold, or no ``fork``
+    start method).  The iterator is lazy so the master merges each run
+    as it completes instead of buffering the whole campaign.
+    """
+    workers = max(1, int(workers))
+    context = None
+    if workers > 1 and len(schedule) >= parallel_threshold:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = None
+
+    if context is None:
+        def _serial() -> Iterator[RunOutcome]:
+            for index, subseeds in enumerate(schedule):
+                yield execute_run(
+                    protocol,
+                    channel,
+                    seed,
+                    index,
+                    subseeds,
+                    config,
+                    capture=capture,
+                    run_timeout=run_timeout,
+                )
+
+        return _serial(), "serial"
+
+    # concurrent.futures rather than multiprocessing.Pool: when a
+    # worker process dies abruptly (os._exit, segfault, OOM kill) the
+    # Pool silently loses the task and ``.get()`` blocks forever,
+    # whereas the executor fails every pending future with
+    # BrokenProcessPool -- which is what makes crash containment
+    # possible at all.
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    def _make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(workers, len(schedule)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(protocol, channel, seed, config, capture, run_timeout),
+        )
+
+    try:
+        executor = _make_executor()
+    except OSError:  # pragma: no cover - fork denied
+        return run_schedule(
+            protocol,
+            channel,
+            seed,
+            schedule,
+            config,
+            workers=1,
+            run_timeout=run_timeout,
+            capture=capture,
+        )
+
+    def _pooled() -> Iterator[RunOutcome]:
+        pool = executor
+        futures = {
+            index: pool.submit(_pool_run, (index, subseeds))
+            for index, subseeds in enumerate(schedule)
+        }
+        try:
+            for index, subseeds in enumerate(schedule):
+                try:
+                    yield futures[index].result()
+                except BrokenProcessPool:
+                    # A worker died mid-task.  The in-worker containment
+                    # never lets an exception escape a run, so this is a
+                    # hard death (os._exit, signal); the broken executor
+                    # fails every pending future, so rebuild it and
+                    # resubmit the runs that never finished.
+                    yield RunOutcome(
+                        index=index,
+                        subseeds=subseeds,
+                        error="worker crashed: process pool broken",
+                    )
+                    pool = _make_executor()
+                    for later in range(index + 1, len(schedule)):
+                        future = futures[later]
+                        if not (
+                            future.done() and future.exception() is None
+                        ):
+                            futures[later] = pool.submit(
+                                _pool_run, (later, schedule[later])
+                            )
+                except Exception as exc:
+                    yield RunOutcome(
+                        index=index,
+                        subseeds=subseeds,
+                        error=f"worker crashed: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    return _pooled(), "fork"

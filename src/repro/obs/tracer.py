@@ -173,6 +173,53 @@ class Tracer:
             Event(POINT, name, self._now(), parent=parent, fields=fields)
         )
 
+    # -- event replay ---------------------------------------------------
+
+    def absorb(self, events: Sequence[Event]) -> None:
+        """Re-emit events captured by another tracer as if they were ours.
+
+        The fuzz pool runs work in forked workers, each capturing its
+        event stream into a :class:`~repro.obs.sinks.MemorySink` under a
+        fresh tracer whose span ids start at 0.  The master replays the
+        captured chunks in a deterministic order so the merged stream is
+        identical to a serial run's: span ids are remapped onto this
+        tracer's counter in arrival order (exactly the ids a serial run
+        would have allocated), chunk-top-level parents are re-homed onto
+        the currently open span, timestamps are re-stamped against this
+        tracer's epoch, and counter/gauge totals are folded into the
+        running aggregates so manifests and reports see them.
+        """
+        if not self.enabled:
+            return
+        mapping: Dict[int, int] = {}
+        for event in events:
+            span = event.span
+            if event.kind == SPAN_START and span is not None:
+                mapping[span] = self._next_span
+                self._next_span += 1
+            new_span = mapping.get(span) if span is not None else None
+            if event.parent is not None and event.parent in mapping:
+                new_parent: Optional[int] = mapping[event.parent]
+            else:
+                new_parent = self._stack[-1][0] if self._stack else None
+            if event.kind == COUNTER and event.value:
+                self.counters[event.name] = (
+                    self.counters.get(event.name, 0) + event.value
+                )
+            elif event.kind == GAUGE and event.value is not None:
+                self.gauges[event.name] = event.value
+            self._emit(
+                Event(
+                    event.kind,
+                    event.name,
+                    self._now(),
+                    value=event.value,
+                    span=new_span,
+                    parent=new_parent,
+                    fields=event.fields,
+                )
+            )
+
     # -- totals ---------------------------------------------------------
 
     def snapshot_counters(self) -> Dict[str, float]:

@@ -62,7 +62,7 @@ class TestFuzzCommand:
         assert envelope["status"] == "violation"
         violations = envelope["details"]["violations"]
         assert violations
-        assert all(v["oracle"].startswith("DL") for v in violations)
+        assert all(v["layer"] == "dl" for v in violations)
         assert all(v["shrunk_length"] <= 12 for v in violations)
         repro_files = sorted(out.glob("*.json"))
         assert repro_files
@@ -187,6 +187,125 @@ class TestFuzzCommand:
         from repro.conformance import load_corpus
 
         assert load_corpus(corpus)
+
+    def test_corpus_entries_are_replayed_first(self, tmp_path, capsys):
+        # Regression: the CLI used to append corpus entries but never
+        # pass them back as replay_subseeds, so the documented
+        # "replayed first by later campaigns" contract silently never
+        # happened.
+        corpus = tmp_path / "corpus.jsonl"
+        base = [
+            "fuzz",
+            "--protocol",
+            "naive",
+            "--channel",
+            "nonfifo",
+            "--seed",
+            "7",
+            "--runs",
+            "3",
+            "--no-shrink",
+            "--corpus",
+            str(corpus),
+            "--json",
+        ]
+        main(base + ["--out", str(tmp_path / "repros1")])
+        first = json.loads(capsys.readouterr().out)
+        assert first["details"]["corpus_replayed"] == 0
+        from repro.conformance import load_corpus
+
+        entries = load_corpus(corpus)
+        assert entries
+        unique_subseeds = []
+        for entry in entries:
+            if entry.subseeds not in unique_subseeds:
+                unique_subseeds.append(entry.subseeds)
+
+        main(base + ["--out", str(tmp_path / "repros2")])
+        second = json.loads(capsys.readouterr().out)
+        assert second["details"]["corpus_replayed"] == len(unique_subseeds)
+        assert second["counters"]["fuzz.runs"] == 3 + len(unique_subseeds)
+        # Replayed entries must not re-append themselves.
+        assert len(load_corpus(corpus)) == len(entries)
+
+    def test_corpus_replay_skips_other_combinations(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        main(
+            [
+                "fuzz",
+                "--protocol",
+                "naive",
+                "--channel",
+                "nonfifo",
+                "--seed",
+                "7",
+                "--runs",
+                "3",
+                "--no-shrink",
+                "--corpus",
+                str(corpus),
+                "--out",
+                str(tmp_path / "repros1"),
+            ]
+        )
+        capsys.readouterr()
+        main(
+            [
+                "fuzz",
+                "--protocol",
+                "stenning",
+                "--channel",
+                "nonfifo",
+                "--seed",
+                "7",
+                "--runs",
+                "2",
+                "--no-shrink",
+                "--corpus",
+                str(corpus),
+                "--out",
+                str(tmp_path / "repros2"),
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["details"]["corpus_replayed"] == 0
+        assert report["counters"]["fuzz.runs"] == 2
+
+    def test_workers_flag_matches_serial_output(self, tmp_path, capsys):
+        reports = {}
+        repro_listings = {}
+        for workers in ("1", "2"):
+            out = tmp_path / f"repros-w{workers}"
+            main(
+                [
+                    "fuzz",
+                    "--protocol",
+                    "naive",
+                    "--channel",
+                    "nonfifo",
+                    "--seed",
+                    "7",
+                    "--runs",
+                    "4",
+                    "--workers",
+                    workers,
+                    "--out",
+                    str(out),
+                    "--json",
+                ]
+            )
+            report = json.loads(capsys.readouterr().out)
+            report["duration_s"] = None
+            report["details"].pop("pool", None)
+            report["details"].pop("artifacts", None)
+            reports[workers] = report
+            repro_listings[workers] = {
+                path.name: path.read_text()
+                for path in sorted(out.glob("*.json"))
+            }
+        assert reports["1"] == reports["2"]
+        assert repro_listings["1"] == repro_listings["2"]
 
     def test_list_oracles(self, capsys):
         assert main(["fuzz", "--list-oracles"]) == 0

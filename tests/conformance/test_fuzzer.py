@@ -17,9 +17,26 @@ class TestCampaign:
         campaign = fuzz_campaign("naive", "nonfifo", 7, FuzzConfig(runs=5))
         assert campaign.violations
         for violation in campaign.violations:
-            assert violation.violation.oracle.startswith("DL")
+            assert violation.violation.layer == "dl"
             assert violation.shrunk_length <= 12
             assert violation.repro["format"] == "repro-fuzz/1"
+        # One packaged repro per *distinct* oracle per run.
+        per_run = {}
+        for violation in campaign.violations:
+            oracles = per_run.setdefault(violation.run_index, set())
+            assert violation.violation.oracle not in oracles
+            oracles.add(violation.violation.oracle)
+        for record in campaign.runs:
+            packaged = per_run.get(record.index, set())
+            assert packaged == {v.oracle for v in record.violations}
+        # The strawman trips several oracles in a single run; every one
+        # must be packaged (found[0] alone used to survive), and the
+        # violations counter must agree with the RunRecord contents.
+        assert any(len(oracles) >= 2 for oracles in per_run.values())
+        assert campaign.report().counters["fuzz.violations"] == sum(
+            len({v.oracle for v in record.violations})
+            for record in campaign.runs
+        )
 
     def test_abp_over_fifo_is_clean(self):
         campaign = fuzz_campaign(

@@ -68,3 +68,38 @@ def test_broken_combinations_are_caught(protocol, channel):
 def test_matrix_covers_every_registered_protocol():
     covered = set(CLEAN_FIFO) | {p for p, _ in MUST_VIOLATE}
     assert covered == set(FUZZ_PROTOCOLS)
+
+
+def test_deep_k_bound_probe_failure_is_a_violation():
+    # A transmitter that never sends cannot deliver anything: the deep
+    # k-bound probe must return delivered=False and that verdict must
+    # reach the campaign status (it used to be recorded but ignored,
+    # so an undeliverable protocol still exited STATUS_OK).
+    from repro.datalink.protocol import DataLinkProtocol
+    from repro.protocols.naive import DirectReceiver, DirectTransmitter
+
+    class MuteTransmitter(DirectTransmitter):
+        def enabled_sends(self, core):
+            return ()
+
+    FUZZ_PROTOCOLS["_mute_test"] = lambda: DataLinkProtocol(
+        name="mute",
+        transmitter_factory=MuteTransmitter,
+        receiver_factory=DirectReceiver,
+        description="never transmits; the k-bound probe must fail it",
+    )
+    try:
+        campaign = fuzz_campaign(
+            "_mute_test",
+            "perfect",
+            SEED,
+            FuzzConfig(runs=0, deep_oracles=True),
+        )
+    finally:
+        del FUZZ_PROTOCOLS["_mute_test"]
+    assert campaign.deep["k_bound_delivered"] is False
+    assert "not delivered" in campaign.deep["k_bound_detail"] or (
+        "quiesced" in campaign.deep["k_bound_detail"]
+    )
+    assert campaign.found_violation
+    assert campaign.report().status == "violation"

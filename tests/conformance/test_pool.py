@@ -1,0 +1,145 @@
+"""The deterministic-merge contract of the fuzz worker pool.
+
+``fuzz_campaign(workers=N)`` must be byte-identical to ``workers=1``:
+same violations, same shrunk scripts, same repro documents, same corpus,
+same counters, same trace stream.  Plus the hardening guards: a run
+that crashes its worker or exceeds the per-run wall-clock budget is
+recorded as a failed run, never a dead campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.conformance import FuzzConfig, fuzz_campaign
+from repro.conformance.registry import FUZZ_PROTOCOLS
+from repro.datalink.protocol import DataLinkProtocol
+from repro.obs import MemorySink, tracing
+
+#: naive violates over both channel families, so every compared field
+#: (violations, shrunk repros, corpus, counters) is non-trivial.
+PROTOCOL = "naive"
+CONFIG = FuzzConfig(runs=6)
+
+
+def _fingerprint(campaign):
+    report = campaign.report().to_dict()
+    report["duration_s"] = None
+    report["details"].pop("pool", None)
+    return {
+        "report": report,
+        "runs": campaign.runs,
+        "repros": [v.repro for v in campaign.violations],
+        "shrunk": [v.shrunk_length for v in campaign.violations],
+        "corpus": campaign.corpus,
+        "states_interned": campaign.states_interned,
+        "oracle_checks": campaign.oracle_checks,
+    }
+
+
+@pytest.mark.parametrize("seed", [3, 7, 11])
+@pytest.mark.parametrize("channel", ["fifo", "nonfifo"])
+def test_workers_4_matches_serial_field_for_field(seed, channel):
+    serial = fuzz_campaign(PROTOCOL, channel, seed, CONFIG)
+    pooled = fuzz_campaign(PROTOCOL, channel, seed, CONFIG, workers=4)
+    assert _fingerprint(serial) == _fingerprint(pooled)
+
+
+def test_trace_stream_is_worker_count_invariant():
+    def events_for(workers):
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            fuzz_campaign(PROTOCOL, "nonfifo", 7, CONFIG, workers=workers)
+            counters = tracer.snapshot_counters()
+        normalized = [
+            (
+                event.kind,
+                event.name,
+                event.span,
+                event.parent,
+                tuple(sorted(event.fields.items())),
+                event.value if event.kind in ("counter", "gauge") else None,
+            )
+            for event in sink.events
+        ]
+        return normalized, counters
+
+    serial_events, serial_counters = events_for(1)
+    pooled_events, pooled_counters = events_for(4)
+    assert serial_events == pooled_events
+    assert serial_counters == pooled_counters
+
+
+# -- hardening guards ---------------------------------------------------
+
+
+def _strawman(transmitter_factory) -> DataLinkProtocol:
+    from repro.protocols.naive import DirectReceiver
+
+    return DataLinkProtocol(
+        name="crash-test",
+        transmitter_factory=transmitter_factory,
+        receiver_factory=DirectReceiver,
+        description="fault-injection strawman for the pool tests",
+    )
+
+
+def test_worker_crash_is_contained():
+    from repro.conformance import pool
+    from repro.protocols.naive import DirectTransmitter
+
+    class CrashingTransmitter(DirectTransmitter):
+        def initial_core(self):
+            if pool._WORKER:
+                # Hard death, bypassing the in-worker containment: the
+                # pool must survive the broken-executor fallout.
+                os._exit(39)
+            raise RuntimeError("injected crash")
+
+    FUZZ_PROTOCOLS["_crash_test"] = lambda: _strawman(CrashingTransmitter)
+    try:
+        campaign = fuzz_campaign(
+            "_crash_test",
+            "perfect",
+            5,
+            FuzzConfig(runs=3, shrink=False),
+            workers=2,
+        )
+    finally:
+        del FUZZ_PROTOCOLS["_crash_test"]
+    assert len(campaign.runs) == 3
+    assert all(run.error is not None for run in campaign.runs)
+    assert campaign.failed_runs == 3
+    assert campaign.pool["failures"] == 3
+    assert campaign.violations == []
+    assert campaign.report().counters["fuzz.failed_runs"] == 3
+
+
+def test_run_timeout_records_failed_run():
+    from repro.protocols.naive import DirectTransmitter
+
+    class SlowTransmitter(DirectTransmitter):
+        def initial_core(self):
+            time.sleep(60)
+            return super().initial_core()
+
+    FUZZ_PROTOCOLS["_slow_test"] = lambda: _strawman(SlowTransmitter)
+    try:
+        started = time.perf_counter()
+        campaign = fuzz_campaign(
+            "_slow_test",
+            "perfect",
+            5,
+            FuzzConfig(runs=1, shrink=False),
+            run_timeout=0.2,
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        del FUZZ_PROTOCOLS["_slow_test"]
+    assert elapsed < 30
+    assert campaign.failed_runs == 1
+    assert "wall-clock" in campaign.runs[0].error
+    assert campaign.pool["timeouts"] == 1

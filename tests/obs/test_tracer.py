@@ -135,3 +135,56 @@ class TestInstallation:
             with tracing():
                 raise RuntimeError("boom")
         assert current_tracer() is before
+
+
+class TestAbsorb:
+    """Replaying captured event chunks into another tracer."""
+
+    def _capture(self):
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            with tracer.span("work", step=1):
+                tracer.count("items", 3)
+            tracer.gauge("level", 0.5)
+        return sink.events
+
+    def test_absorb_remaps_span_ids_onto_own_counter(self):
+        events = self._capture()
+        sink = MemorySink()
+        master = Tracer(sinks=[sink])
+        master.start_span("warmup")  # claims span id 0
+        master.end_span(0)
+        master.absorb(events)
+        replayed = [e for e in sink.events if e.name == "work"]
+        assert [e.span for e in replayed] == [1, 1]
+        assert master._next_span == 2
+
+    def test_absorb_rehomes_top_level_parents_to_open_span(self):
+        events = self._capture()
+        sink = MemorySink()
+        master = Tracer(sinks=[sink])
+        with master.span("fuzz.run"):
+            master.absorb(events)
+        work_start = next(
+            e for e in sink.events
+            if e.kind == SPAN_START and e.name == "work"
+        )
+        counter = next(e for e in sink.events if e.name == "items")
+        assert work_start.parent == 0  # the open fuzz.run span
+        assert counter.parent == work_start.span  # nesting preserved
+
+    def test_absorb_folds_counter_and_gauge_totals(self):
+        events = self._capture()
+        master = Tracer(sinks=[MemorySink()])
+        master.count("items", 1)
+        master.absorb(events)
+        assert master.counters["items"] == 4
+        assert master.gauges["level"] == 0.5
+
+    def test_absorb_on_disabled_tracer_is_a_noop(self):
+        events = self._capture()
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink], enabled=False)
+        tracer.absorb(events)
+        assert sink.events == ()
+        assert tracer.counters == {}
