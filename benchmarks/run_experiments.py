@@ -92,7 +92,9 @@ def main() -> None:
         report = write_fuzz_bench_json(fuzz_path)
         print(
             f"wrote {fuzz_path} (workers={report['workers']}, "
-            f"cpu_count={report['cpu_count']})"
+            f"effective_cpus={report['effective_cpus']}"
+            + (", OVERSUBSCRIBED" if report["oversubscribed"] else "")
+            + ")"
         )
         for key, row in report["cases"].items():
             print(

@@ -26,9 +26,14 @@ from .fuzzer import (
     fuzz_campaign,
 )
 from .pool import (
+    BatchOutcome,
+    PoolInfo,
     RunOutcome,
     RunTimeout,
+    StateFingerprint,
+    auto_batch_size,
     execute_run,
+    run_batch,
     run_schedule,
 )
 from .oracles import (
@@ -59,6 +64,7 @@ from .replay import (
 from .shrink import ShrinkResult, shrink_script
 
 __all__ = [
+    "BatchOutcome",
     "CorpusEntry",
     "DL_ORACLES",
     "FAULT_MIXES",
@@ -69,15 +75,18 @@ __all__ = [
     "Oracle",
     "OracleViolation",
     "PL_ORACLES",
+    "PoolInfo",
     "ReplayFormatError",
     "ReplayResult",
     "RunOutcome",
     "RunRecord",
     "RunTimeout",
     "ShrinkResult",
+    "StateFingerprint",
     "SubSeeds",
     "ViolationReport",
     "append_entries",
+    "auto_batch_size",
     "build_script",
     "build_system",
     "check_execution",
@@ -87,6 +96,7 @@ __all__ = [
     "execute_run",
     "execute_script",
     "fuzz_campaign",
+    "run_batch",
     "run_schedule",
     "load_corpus",
     "load_repro",

@@ -11,15 +11,20 @@ or programmatically through :func:`write_fuzz_bench_json`.
 Every case is cross-checked while it is timed: the serial and pooled
 campaigns must agree field-for-field (violations, corpus, counters), so
 a benchmark run is also a determinism test of the parallel merge.  The
-report records ``cpu_count`` next to the speedup: pool scaling is
-bounded by the cores actually available (a 1-CPU container cannot beat
-serial, however many workers it forks).
+report records the *effective* parallelism next to the speedup
+(``effective_cpus``, the scheduler-affinity CPU count, which on a
+cgroup-limited container is what actually bounds pool scaling -- not
+the host-wide ``os.cpu_count``): a 1-CPU container cannot beat serial,
+however many workers it forks, so when ``workers > effective_cpus``
+the report is annotated ``"oversubscribed": true`` and a warning is
+printed, which is how a sub-1.0 speedup number stays readable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from statistics import median
 from typing import Dict, Iterable, Tuple
@@ -37,6 +42,21 @@ DEFAULT_FUZZ_CASES: Tuple[Tuple[str, str, str, int, bool], ...] = (
 )
 
 DEFAULT_WORKERS = 4
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``sched_getaffinity`` sees cgroup/affinity limits (CI runners,
+    containers); ``os.cpu_count`` is the fallback where it does not
+    exist.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def _campaign_fingerprint(campaign) -> Dict:
@@ -73,12 +93,24 @@ def run_fuzz_bench(
     from .fuzzer import fuzz_campaign
     from .harness import FuzzConfig
 
+    effective = effective_cpu_count()
+    oversubscribed = workers > effective
+    if oversubscribed:
+        print(
+            f"warning: --bench-fuzz with workers={workers} on "
+            f"{effective} effective CPU(s): the pool is oversubscribed "
+            f"and cannot beat serial; speedups below reflect overhead, "
+            f"not scaling",
+            file=sys.stderr,
+        )
     report: Dict = {
         "generated_by": "repro.conformance.bench",
         "repeats": repeats,
         "workers": workers,
         "seed": seed,
         "cpu_count": os.cpu_count(),
+        "effective_cpus": effective,
+        "oversubscribed": oversubscribed,
         "cases": {},
     }
     speedups = []
@@ -113,6 +145,8 @@ def run_fuzz_bench(
             "serial_seconds": round(serial_seconds, 6),
             "serial_runs_per_sec": round(runs / serial_seconds, 1),
             "pool_mode": pool_result.pool.get("mode"),
+            "batch_size": pool_result.pool.get("batch_size"),
+            "batches": pool_result.pool.get("batches"),
             "pool_seconds": round(pool_seconds, 6),
             "pool_runs_per_sec": round(runs / pool_seconds, 1),
             "speedup": round(speedup, 2),

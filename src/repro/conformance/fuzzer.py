@@ -18,11 +18,13 @@ nothing.  Campaigns are bit-deterministic in their seed: no module on
 this path touches the global RNG.
 
 Runs are executed through :mod:`repro.conformance.pool`: the full
-sub-seed schedule is derived serially up front, runs fan out to a
-fork pool (``workers > 1``) or run in-process, and the master merges
-outcomes in run-index order -- interning states, assigning corpus
-credit and replaying each run's captured obs events -- so a parallel
-campaign is byte-identical to a serial one.
+sub-seed schedule is derived serially up front and chunked into
+batches, batches fan out to a persistent fork pool (``workers > 1``)
+or run in-process, and the master merges outcomes in run-index order
+-- interning each run's (batch-deduplicated) state fingerprints,
+assigning corpus credit and replaying each run's captured obs events
+-- so a parallel campaign is byte-identical to a serial one whatever
+the worker count or batch size.
 """
 
 from __future__ import annotations
@@ -175,6 +177,7 @@ def fuzz_campaign(
     coverage_threshold: int = DEFAULT_COVERAGE_THRESHOLD,
     workers: int = 1,
     run_timeout: Optional[float] = None,
+    batch_size: Optional[int] = None,
 ) -> FuzzCampaignResult:
     """Run one fuzz campaign.
 
@@ -182,15 +185,19 @@ def fuzz_campaign(
     before ``config.runs`` freshly derived runs.  Determinism contract:
     two campaigns with equal arguments produce identical results,
     including identical shrunk scripts and repro documents -- and
-    ``workers`` is *not* part of the outcome: the sub-seed schedule is
-    derived serially before any run executes, workers return pure
-    per-run outcomes, and the master interns states and assigns
-    corpus/coverage credit in run-index order, so ``workers=N`` is
-    byte-identical to ``workers=1`` (violations, repro documents,
-    corpus entries, counters, trace events).  ``run_timeout`` bounds
-    each run's wall-clock seconds; a run that exceeds it (or raises, or
-    loses its worker) is recorded as a failed :class:`RunRecord`
-    instead of aborting the campaign.
+    neither ``workers`` nor ``batch_size`` is part of the outcome: the
+    sub-seed schedule is derived serially before any run executes,
+    workers return pure per-run outcomes in per-batch envelopes, and
+    the master interns state fingerprints and assigns corpus/coverage
+    credit in run-index order, so ``workers=N`` is byte-identical to
+    ``workers=1`` at any batching (violations, repro documents, corpus
+    entries, counters, trace events).  ``batch_size`` fixes how many
+    consecutive runs one worker task executes (default: auto-sized
+    from the schedule length and worker count).  ``run_timeout``
+    bounds each run's wall-clock seconds (batches are additionally
+    held to a ``len(batch) * run_timeout`` total); a run that exceeds
+    it (or raises, or loses its worker) is recorded as a failed
+    :class:`RunRecord` instead of aborting the campaign.
     """
     from .pool import run_schedule
     from .registry import resolve_fuzz_channel, resolve_fuzz_protocol
@@ -218,7 +225,7 @@ def fuzz_campaign(
     with tracer.span("fuzz.pool", runs=len(schedule)):
         if tracer.enabled:
             tracer.count("fuzz.pool.dispatched", len(schedule))
-        outcomes, mode = run_schedule(
+        outcomes, pool_info = run_schedule(
             protocol,
             channel,
             seed,
@@ -227,6 +234,7 @@ def fuzz_campaign(
             workers=workers,
             run_timeout=run_timeout,
             capture=tracer.enabled,
+            batch_size=batch_size,
         )
         for outcome in outcomes:
             index, subseeds = outcome.index, outcome.subseeds
@@ -256,8 +264,13 @@ def fuzz_campaign(
                     )
                     continue
                 tracer.absorb(outcome.pre_events)
+                # ``state_values`` are already deduplicated (within the
+                # run, and against earlier runs of the same batch, whose
+                # values this loop interned first), so every value is
+                # hashed once here -- the serial credit arithmetic and
+                # the table's insertion order are unchanged.
                 before = len(table)
-                for state in outcome.states:
+                for state in outcome.state_values:
                     table.intern(state)
                 new_states = len(table) - before
                 if tracer.enabled:
@@ -317,11 +330,18 @@ def fuzz_campaign(
         oracle_checks=oracle_checks,
         deep=deep,
         pool={
-            "mode": mode,
+            "mode": pool_info.mode,
             "workers": max(1, int(workers)),
+            "batch_size": pool_info.batch_size,
+            "batches": pool_info.batches,
             "run_timeout": run_timeout,
             "failures": failures,
             "timeouts": timeouts,
+            **(
+                {"fallback_reason": pool_info.fallback_reason}
+                if pool_info.fallback_reason
+                else {}
+            ),
         },
         duration_s=time.perf_counter() - started,
     )

@@ -116,21 +116,40 @@ class SubSeeds:
         )
 
 
+def resolve_pair(protocol_name: str, channel_name: str):
+    """Resolve ``(protocol, channel builder)`` from the fuzz registries.
+
+    The batched pool's worker initializer resolves once per worker
+    process and threads the pair through every run of every batch
+    (:func:`build_system`'s ``resolved`` fast path), so warm workers
+    never consult the registry again.
+    """
+    return (
+        resolve_fuzz_protocol(protocol_name),
+        resolve_fuzz_channel(channel_name),
+    )
+
+
 def build_system(
     protocol_name: str,
     channel_name: str,
     subseeds: SubSeeds,
     config: FuzzConfig,
+    resolved=None,
 ) -> DataLinkSystem:
     """Compose the protocol with two sub-seeded channels.
 
     Rebuilding with the same arguments yields a system with an identical
     initial state (the automata are stateless; all run state lives in
     immutable state tuples), which is what lets the shrinker and the
-    replayer re-run scripts against the original adversary.
+    replayer re-run scripts against the original adversary.  Pass
+    ``resolved`` (a :func:`resolve_pair` result) to skip the registry
+    lookups; the channels are still built fresh from the sub-seeds, so
+    the rebuild contract is unchanged.
     """
-    protocol = resolve_fuzz_protocol(protocol_name)
-    build_channel = resolve_fuzz_channel(channel_name)
+    protocol, build_channel = resolved or resolve_pair(
+        protocol_name, channel_name
+    )
     channel_tr = build_channel(
         "t",
         "r",

@@ -1,11 +1,12 @@
-"""Process-pool execution of a fuzz campaign's run schedule.
+"""Batched process-pool execution of a fuzz campaign's run schedule.
 
 Each fuzz run is independent once its :class:`SubSeeds` are derived:
 the system, script, execution, oracle verdicts and shrunk repros are
 all pure functions of ``(protocol, channel, seed, index, subseeds,
 config)``.  The campaign therefore derives the full sub-seed schedule
-serially up front (bit-identical to a serial campaign) and fans the
-runs out to a ``multiprocessing`` fork pool; only campaign-global state
+serially up front (bit-identical to a serial campaign) and shards it
+into **batches** of consecutive runs; each batch is one task for a
+persistent ``multiprocessing`` fork pool.  Only campaign-global state
 -- the :class:`~repro.ioa.engine.interning.InternTable`, corpus credit
 and the obs event stream -- stays with the master, which merges worker
 results **in run-index order**.  The merge is what makes ``workers=N``
@@ -13,23 +14,50 @@ byte-identical to ``workers=1``: interning order, corpus order,
 violation order and the trace stream never depend on which worker
 finished first.
 
-Following :mod:`repro.ioa.engine.parallel`: workers are forked (the
-registries and config are inherited, only sub-seeds go in and run
-outcomes come out), short schedules are executed in-process (forking
-pays off only once there is enough work to amortize pool start-up),
-and on platforms without a ``fork`` start method the schedule silently
-degrades to serial.
+Why batches rather than one task per run (the PR-5 design):
+
+* **amortized IPC**: one submit/result round-trip and one pickle per
+  ~``batch_size`` runs instead of per run, which is what previously
+  made a 4-worker pool *slower* than serial on cheap campaigns;
+* **warm workers**: the executor is built once per campaign (workers
+  fork once, with the protocol/channel registries pre-imported and
+  pre-resolved by the initializer) and stays up across batches;
+* **in-worker shrinking**: ddmin shrinking and repro packaging run
+  inside :func:`execute_run`, i.e. inside the worker -- the master
+  never re-executes a scenario;
+* **compact streaming**: a :class:`BatchOutcome` carries per-run state
+  *fingerprints deduplicated across the whole batch* (a state value is
+  shipped at most once per batch, attached to the run that saw it
+  first) and the batch's obs event chunks, so the payload back to the
+  master shrinks with cross-run state overlap.
+
+Short schedules are still executed in-process (forking pays off only
+once there is enough work to amortize pool start-up), and on platforms
+without a ``fork`` start method the schedule degrades to serial -- but
+no longer *silently*: the returned :class:`PoolInfo` reports
+``mode="serial-fallback"`` plus the reason, which the CLI surfaces as
+a stderr warning and ``details.pool`` telemetry.
 
 Two hardening guards ride along, applied identically in serial and
 pool mode:
 
 * a per-run wall-clock guard (``run_timeout`` seconds, SIGALRM-based
   where available) that abandons a runaway run instead of hanging the
-  campaign; and
+  campaign -- in batched mode with **per-batch budget accounting**: a
+  batch of N runs gets N x ``run_timeout`` of total wall-clock, each
+  run is still individually bounded by ``run_timeout``, and a batch
+  that exhausts its budget records its remaining runs as timed out
+  without executing them; and
 * worker-crash containment: any exception escaping a run -- a protocol
   bug, a timeout, a dying worker process -- is recorded as a *failed
   run* (:class:`RunOutcome` with ``error`` set) and the campaign
-  continues.
+  continues.  A worker dying mid-batch breaks the whole executor
+  (failing every sibling's pending future too), so the shared pool is
+  rebuilt, unfinished batches are resubmitted, and each batch that
+  observed the breakage is retried on a dedicated one-worker executor
+  that only its own runs can break: an innocent batch re-executes
+  cleanly (runs are pure, so the do-over is byte-identical), and a
+  genuinely crashy batch fails exactly its own runs.
 
 Note that a triggered timeout is inherently wall-clock-dependent, so a
 campaign that hits one is only deterministic in its surviving runs;
@@ -42,7 +70,7 @@ import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..ioa.automaton import State
 from ..obs import MemorySink, set_tracer, tracing
@@ -54,23 +82,89 @@ from .oracles import OracleViolation, check_execution
 #: start-up (forking ``workers`` interpreters) costs more than the runs.
 PARALLEL_THRESHOLD = 2
 
+#: Auto-sized batches aim for this many batches per worker, so a slow
+#: batch (one shrink-heavy run) cannot serialize the whole campaign
+#: behind a single worker.
+BATCHES_PER_WORKER = 4
+
+#: Auto-sized batches never exceed this many runs: a crashed worker
+#: fails its whole batch, so unbounded batches would trade containment
+#: granularity for diminishing IPC savings.
+MAX_AUTO_BATCH = 16
+
 
 class RunTimeout(Exception):
     """A fuzz run exceeded the campaign's per-run wall-clock budget."""
+
+
+class StateFingerprint:
+    """A visited state bundled with its structural hash, precomputed
+    worker-side.
+
+    Composed fuzz states are deep tuples of frozen dataclasses dragging
+    per-run delivery-set prefixes (hundreds of ints), so ``hash(state)``
+    is the single most expensive operation of the campaign master's
+    merge loop -- and CPython recomputes it on *every* dict/set probe.
+    The worker hashes each state exactly once (it needs the hash for
+    its own dedup anyway) and ships the cached value alongside, so the
+    master's :class:`~repro.ioa.engine.interning.InternTable` probes
+    cost an int comparison instead of a deep re-hash.
+
+    Only the *hash* is cached; equality still compares the underlying
+    state values, so interning credit -- and with it the serial/pooled
+    byte-identity contract -- is decided by value equality exactly as
+    before.  (The cached hash is consistent between master and forked
+    workers because fork inherits the interpreter's hash seed, and it
+    never leaves the process in any output artifact.)
+    """
+
+    __slots__ = ("value", "cached_hash")
+
+    def __init__(self, value: State, cached_hash: Optional[int] = None):
+        self.value = value
+        self.cached_hash = hash(value) if cached_hash is None else cached_hash
+
+    def __hash__(self) -> int:
+        return self.cached_hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, StateFingerprint):
+            return self.value == other.value
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StateFingerprint({self.value!r})"
+
+    def __getstate__(self):
+        return (self.value, self.cached_hash)
+
+    def __setstate__(self, state):
+        self.value, self.cached_hash = state
 
 
 @dataclass
 class RunOutcome:
     """Everything one fuzz run sends back to the campaign master.
 
-    ``states`` are the visited-state fingerprints in execution order;
-    the master interns them (in run-index order) to assign coverage
-    credit, so workers never touch the shared
-    :class:`~repro.ioa.engine.interning.InternTable`.  ``pre_events``
-    and ``post_events`` are the run's captured obs chunks -- everything
-    emitted before and after the interning point of a serial campaign
-    loop -- which the master replays around its own
-    ``fuzz.states_interned`` counter to reproduce the serial stream.
+    ``state_values`` are the run's *distinct* visited states in
+    first-occurrence order, as hash-carrying
+    :class:`StateFingerprint` wrappers -- the fingerprints the master
+    interns (in run-index order) to assign coverage credit, so workers
+    never touch the shared
+    :class:`~repro.ioa.engine.interning.InternTable`.  Deduplicating
+    within the run does not change the interning credit (a duplicate
+    can never grow the table), and in batched mode the worker further
+    strips values already shipped by an earlier run of the *same
+    batch* (see :func:`run_batch`) -- those are already in the master
+    table by the time this run is merged, so the credit and the
+    table's insertion order still come out byte-identical to a serial
+    campaign.
+
+    ``pre_events`` and ``post_events`` are the run's captured obs
+    chunks -- everything emitted before and after the interning point
+    of a serial campaign loop -- which the master replays around its
+    own ``fuzz.states_interned`` counter to reproduce the serial
+    stream.
     """
 
     index: int
@@ -78,7 +172,7 @@ class RunOutcome:
     steps: int = 0
     quiescent: bool = False
     behavior_length: int = 0
-    states: Tuple[State, ...] = ()
+    state_values: Tuple[StateFingerprint, ...] = ()
     found: List[OracleViolation] = field(default_factory=list)
     violations: List["ViolationReport"] = field(default_factory=list)  # noqa: F821
     oracle_checks: int = 0
@@ -87,6 +181,39 @@ class RunOutcome:
     error: Optional[str] = None
     timed_out: bool = False
     duration_s: float = 0.0
+
+
+@dataclass
+class BatchOutcome:
+    """One batch's worth of run outcomes, shipped master-ward as a unit.
+
+    ``outcomes`` are in run-index order (``start``, ``start+1``, ...).
+    Packaging a whole batch into one message is the compactness play:
+    one pickle and one result-queue round-trip per batch, and the
+    batch-level state dedup in :func:`run_batch` means every distinct
+    state value crosses the process boundary at most once per batch.
+    """
+
+    start: int
+    outcomes: Tuple[RunOutcome, ...]
+
+
+@dataclass(frozen=True)
+class PoolInfo:
+    """How :func:`run_schedule` decided to execute the schedule.
+
+    ``mode`` is ``"fork"`` when a process pool is actually used,
+    ``"serial"`` when the caller asked for one worker, and
+    ``"serial-fallback"`` when parallelism was *requested but not
+    delivered* (schedule below the threshold, no ``fork`` start
+    method, or fork denied by the OS) -- the case the CLI warns about.
+    """
+
+    mode: str
+    workers: int
+    batch_size: int
+    batches: int
+    fallback_reason: Optional[str] = None
 
 
 @contextmanager
@@ -134,6 +261,24 @@ def _capturing(capture: bool):
     captured.extend(sink.events)
 
 
+def _distinct_states(
+    states: Sequence[State],
+) -> Tuple[StateFingerprint, ...]:
+    """Distinct states of one run, fingerprinted, first-occurrence order.
+
+    Each state is hashed exactly once (inside the fingerprint
+    constructor); the dedup probes reuse the cached hash.
+    """
+    seen = set()
+    distinct = []
+    for state in states:
+        fingerprint = StateFingerprint(state)
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            distinct.append(fingerprint)
+    return tuple(distinct)
+
+
 def execute_run(
     protocol: str,
     channel: str,
@@ -143,6 +288,7 @@ def execute_run(
     config: FuzzConfig,
     capture: bool = False,
     run_timeout: Optional[float] = None,
+    resolved=None,
 ) -> RunOutcome:
     """One complete fuzz run: build, execute, judge, shrink, package.
 
@@ -150,6 +296,10 @@ def execute_run(
     whole parallelization argument: the master can replay the outcome
     stream in index order and obtain the serial campaign verbatim.
     Every exception is contained into a failed-run outcome.
+    ``resolved`` is the warm-worker fast path: a pre-resolved
+    ``(protocol, channel builder)`` pair from
+    :func:`~repro.conformance.harness.resolve_pair`, so persistent
+    workers skip the registry on every run.
     """
     from .fuzzer import _checks_for, _package_violation
 
@@ -157,7 +307,9 @@ def execute_run(
     try:
         with _alarm(run_timeout):
             with _capturing(capture) as pre_events:
-                system = build_system(protocol, channel, subseeds, config)
+                system = build_system(
+                    protocol, channel, subseeds, config, resolved=resolved
+                )
                 script = build_script(system, subseeds, config)
                 result = execute_script(
                     system, script.actions, subseeds, config
@@ -205,7 +357,7 @@ def execute_run(
         steps=result.steps,
         quiescent=result.quiescent,
         behavior_length=len(result.behavior),
-        states=tuple(result.fragment.states),
+        state_values=_distinct_states(result.fragment.states),
         found=found,
         violations=packaged,
         oracle_checks=oracle_checks,
@@ -214,6 +366,94 @@ def execute_run(
         error=None,
         duration_s=time.perf_counter() - started,
     )
+
+
+def run_batch(
+    protocol: str,
+    channel: str,
+    seed: int,
+    start: int,
+    batch: Sequence[SubSeeds],
+    config: FuzzConfig,
+    capture: bool = False,
+    run_timeout: Optional[float] = None,
+    resolved=None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> BatchOutcome:
+    """Execute one batch of consecutive runs inside a single worker.
+
+    Applies the per-batch wall-clock budget: with ``run_timeout`` set,
+    the whole batch gets ``len(batch) * run_timeout`` seconds.  Each
+    run's SIGALRM allowance is the smaller of ``run_timeout`` and the
+    batch's remaining budget, so a batch whose early runs eat the
+    budget (timer overshoot, signal latency, slow teardown between
+    runs) records its remaining runs as timed out instead of
+    overrunning; a batch of fast runs never notices.  ``clock`` exists
+    so tests can drive the accounting deterministically.
+
+    Also performs the batch-level state compaction: a state value is
+    attached to the first run of the batch that visited it and
+    stripped from later runs' ``state_values`` -- by the time the
+    master merges a later run, the earlier run already interned the
+    value, so the credit arithmetic is unchanged while the value
+    crosses the process boundary once.
+    """
+    budget = run_timeout * len(batch) if run_timeout else None
+    batch_started = clock()
+    shipped: set = set()
+    outcomes: List[RunOutcome] = []
+    for offset, subseeds in enumerate(batch):
+        index = start + offset
+        allowance = run_timeout
+        if budget is not None:
+            remaining = budget - (clock() - batch_started)
+            if remaining <= 0:
+                outcomes.append(
+                    RunOutcome(
+                        index=index,
+                        subseeds=subseeds,
+                        error=(
+                            f"batch exhausted its {budget}s wall-clock "
+                            f"budget before run {index}"
+                        ),
+                        timed_out=True,
+                    )
+                )
+                continue
+            allowance = min(run_timeout, remaining)
+        outcome = execute_run(
+            protocol,
+            channel,
+            seed,
+            index,
+            subseeds,
+            config,
+            capture=capture,
+            run_timeout=allowance,
+            resolved=resolved,
+        )
+        if outcome.state_values:
+            fresh = [
+                value
+                for value in outcome.state_values
+                if value not in shipped
+            ]
+            shipped.update(fresh)
+            outcome.state_values = tuple(fresh)
+        outcomes.append(outcome)
+    return BatchOutcome(start=start, outcomes=tuple(outcomes))
+
+
+def auto_batch_size(runs: int, workers: int) -> int:
+    """Batch size targeting ~:data:`BATCHES_PER_WORKER` batches/worker.
+
+    Small enough that run-cost skew (one shrink-heavy run) load-balances
+    across workers and a crashed worker fails a bounded slice of the
+    schedule, large enough that per-batch IPC stops dominating cheap
+    runs; capped at :data:`MAX_AUTO_BATCH`.
+    """
+    spread = max(1, workers) * BATCHES_PER_WORKER
+    return max(1, min(MAX_AUTO_BATCH, -(-runs // spread)))
 
 
 # Worker-side globals, installed by the fork initializer.
@@ -232,6 +472,12 @@ def _init_worker(
     # open JSONL sink file handle.  Detach immediately: workers capture
     # into per-run MemorySinks and the master replays the chunks.
     set_tracer(None)
+    # Warm start: resolve the registry entries once per worker process,
+    # so no run pays a registry lookup (and a bad name fails loudly at
+    # pool start-up, not mid-campaign -- the campaign driver validated
+    # the names already, so this cannot ordinarily raise).
+    from .harness import resolve_pair
+
     _WORKER.update(
         protocol=protocol,
         channel=channel,
@@ -239,20 +485,22 @@ def _init_worker(
         config=config,
         capture=capture,
         run_timeout=run_timeout,
+        resolved=resolve_pair(protocol, channel),
     )
 
 
-def _pool_run(task: Tuple[int, SubSeeds]) -> RunOutcome:
-    index, subseeds = task
-    return execute_run(
+def _pool_batch(task: Tuple[int, Tuple[SubSeeds, ...]]) -> BatchOutcome:
+    start, batch = task
+    return run_batch(
         _WORKER["protocol"],
         _WORKER["channel"],
         _WORKER["seed"],
-        index,
-        subseeds,
+        start,
+        batch,
         _WORKER["config"],
         capture=_WORKER["capture"],
         run_timeout=_WORKER["run_timeout"],
+        resolved=_WORKER["resolved"],
     )
 
 
@@ -265,41 +513,66 @@ def run_schedule(
     workers: int = 1,
     run_timeout: Optional[float] = None,
     capture: bool = False,
+    batch_size: Optional[int] = None,
     parallel_threshold: int = PARALLEL_THRESHOLD,
-) -> Tuple[Iterator[RunOutcome], str]:
+) -> Tuple[Iterator[RunOutcome], PoolInfo]:
     """Execute the schedule; yields outcomes strictly in run-index order.
 
-    Returns ``(outcome iterator, mode)`` where ``mode`` is ``"fork"``
-    when a process pool is actually used and ``"serial"`` otherwise
-    (``workers <= 1``, schedule below the threshold, or no ``fork``
-    start method).  The iterator is lazy so the master merges each run
-    as it completes instead of buffering the whole campaign.
+    Returns ``(outcome iterator, pool info)``; see :class:`PoolInfo`
+    for the mode vocabulary.  ``batch_size`` fixes how many consecutive
+    runs form one worker task (default: auto-sized from the schedule
+    length and worker count via :func:`auto_batch_size`).  The iterator
+    is lazy so the master merges each batch as it completes instead of
+    buffering the whole campaign.
     """
     workers = max(1, int(workers))
+    requested_parallel = workers > 1
+    fallback_reason = None
     context = None
-    if workers > 1 and len(schedule) >= parallel_threshold:
+    if requested_parallel and len(schedule) >= parallel_threshold:
         import multiprocessing
 
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
-            context = None
+            fallback_reason = "no fork start method on this platform"
+    elif requested_parallel:
+        fallback_reason = (
+            f"{len(schedule)} scheduled run(s) below the "
+            f"{parallel_threshold}-run pool threshold"
+        )
+
+    if batch_size is None:
+        batch_size = auto_batch_size(len(schedule), workers)
+    batch_size = max(1, int(batch_size))
+    starts = range(0, len(schedule), batch_size)
+    n_batches = len(starts)
+
+    def _serial_info(reason: Optional[str]) -> PoolInfo:
+        return PoolInfo(
+            mode="serial-fallback" if requested_parallel else "serial",
+            workers=workers,
+            batch_size=batch_size,
+            batches=n_batches,
+            fallback_reason=reason if requested_parallel else None,
+        )
 
     if context is None:
         def _serial() -> Iterator[RunOutcome]:
-            for index, subseeds in enumerate(schedule):
-                yield execute_run(
+            for start in starts:
+                result = run_batch(
                     protocol,
                     channel,
                     seed,
-                    index,
-                    subseeds,
+                    start,
+                    schedule[start : start + batch_size],
                     config,
                     capture=capture,
                     run_timeout=run_timeout,
                 )
+                yield from result.outcomes
 
-        return _serial(), "serial"
+        return _serial(), _serial_info(fallback_reason)
 
     # concurrent.futures rather than multiprocessing.Pool: when a
     # worker process dies abruptly (os._exit, segfault, OOM kill) the
@@ -312,7 +585,7 @@ def run_schedule(
 
     def _make_executor() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=min(workers, len(schedule)),
+            max_workers=min(workers, n_batches),
             mp_context=context,
             initializer=_init_worker,
             initargs=(protocol, channel, seed, config, capture, run_timeout),
@@ -321,7 +594,7 @@ def run_schedule(
     try:
         executor = _make_executor()
     except OSError:  # pragma: no cover - fork denied
-        return run_schedule(
+        outcomes, _ = run_schedule(
             protocol,
             channel,
             seed,
@@ -330,46 +603,97 @@ def run_schedule(
             workers=1,
             run_timeout=run_timeout,
             capture=capture,
+            batch_size=batch_size,
         )
+        return outcomes, _serial_info("process pool unavailable (fork denied)")
+
+    batches: List[Tuple[int, Tuple[SubSeeds, ...]]] = [
+        (start, tuple(schedule[start : start + batch_size]))
+        for start in starts
+    ]
 
     def _pooled() -> Iterator[RunOutcome]:
         pool = executor
         futures = {
-            index: pool.submit(_pool_run, (index, subseeds))
-            for index, subseeds in enumerate(schedule)
+            number: pool.submit(_pool_batch, batch)
+            for number, batch in enumerate(batches)
         }
         try:
-            for index, subseeds in enumerate(schedule):
+            for number, (start, batch) in enumerate(batches):
                 try:
-                    yield futures[index].result()
+                    yield from futures[number].result().outcomes
                 except BrokenProcessPool:
-                    # A worker died mid-task.  The in-worker containment
+                    # A worker died mid-batch.  The in-worker containment
                     # never lets an exception escape a run, so this is a
-                    # hard death (os._exit, signal); the broken executor
-                    # fails every pending future, so rebuild it and
-                    # resubmit the runs that never finished.
-                    yield RunOutcome(
-                        index=index,
-                        subseeds=subseeds,
-                        error="worker crashed: process pool broken",
-                    )
+                    # hard death (os._exit, signal).  A broken executor
+                    # fails *every* unfinished future, though, so this
+                    # batch may merely be collateral of a crash in a
+                    # sibling batch.  Rebuild the shared pool, resubmit
+                    # every later batch that never finished cleanly,
+                    # then retry this batch on a *dedicated* one-worker
+                    # executor: only the batch's own runs can break it,
+                    # so a retry failure pins the crash on exactly this
+                    # batch, while an innocent batch re-executes cleanly
+                    # (runs are pure, so the do-over is byte-identical).
                     pool = _make_executor()
-                    for later in range(index + 1, len(schedule)):
+                    for later in range(number + 1, len(batches)):
                         future = futures[later]
                         if not (
                             future.done() and future.exception() is None
                         ):
                             futures[later] = pool.submit(
-                                _pool_run, (later, schedule[later])
+                                _pool_batch, batches[later]
+                            )
+                    try:
+                        retry = ProcessPoolExecutor(
+                            max_workers=1,
+                            mp_context=context,
+                            initializer=_init_worker,
+                            initargs=(
+                                protocol,
+                                channel,
+                                seed,
+                                config,
+                                capture,
+                                run_timeout,
+                            ),
+                        )
+                        try:
+                            yield from (
+                                retry.submit(_pool_batch, batches[number])
+                                .result()
+                                .outcomes
+                            )
+                        finally:
+                            retry.shutdown(wait=True, cancel_futures=True)
+                    except (BrokenProcessPool, OSError):
+                        for offset, subseeds in enumerate(batch):
+                            yield RunOutcome(
+                                index=start + offset,
+                                subseeds=subseeds,
+                                error=(
+                                    "worker crashed: process pool broken"
+                                ),
                             )
                 except Exception as exc:
-                    yield RunOutcome(
-                        index=index,
-                        subseeds=subseeds,
-                        error=f"worker crashed: "
-                        f"{type(exc).__name__}: {exc}",
-                    )
+                    for offset, subseeds in enumerate(batch):
+                        yield RunOutcome(
+                            index=start + offset,
+                            subseeds=subseeds,
+                            error=f"worker crashed: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # By the time we get here every yielded batch has been
+            # consumed (or the campaign is aborting), so waiting is
+            # cheap -- and skipping the wait leaves the executor's
+            # wakeup pipe to be torn down at interpreter exit, which
+            # races the atexit hook into "Bad file descriptor" noise.
+            pool.shutdown(wait=True, cancel_futures=True)
 
-    return _pooled(), "fork"
+    return _pooled(), PoolInfo(
+        mode="fork",
+        workers=workers,
+        batch_size=batch_size,
+        batches=n_batches,
+    )

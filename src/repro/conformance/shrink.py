@@ -20,12 +20,22 @@ Three deletion passes run to fixpoint under a re-execution budget:
 
 The result is locally minimal *for these moves*: no single chunk, action
 or adjacent pair can be deleted without losing the violation.
+
+Candidate verdicts are memoized: successive passes (and successive
+fixpoint rounds) revisit many identical candidate scripts, and since a
+candidate's verdict is a pure function of its actions (the adversary
+and interleaving sub-seeds are held fixed), a repeated candidate is
+answered from cache without re-execution.  ``attempts`` counts actual
+re-executions only, so the budget buys strictly more distinct
+candidates than before -- the search is deterministic either way.
+This matters doubly since shrinking runs *inside* the fuzz-pool
+workers: wasted re-executions there serialize whole batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ioa.actions import Action
 from ..obs import current_tracer
@@ -66,20 +76,30 @@ def shrink_script(
     tracer = current_tracer()
     attempts = 0
     budget = config.shrink_budget
+    verdicts: Dict[Tuple[Action, ...], bool] = {}
 
     def still_violates(candidate: Sequence[Action]) -> bool:
         nonlocal attempts
+        key = tuple(candidate)
+        cached: Optional[bool] = verdicts.get(key)
+        if cached is not None:
+            return cached
         if attempts >= budget:
+            # Not cached: a budget refusal says nothing about the
+            # candidate itself.
             return False
         if not script_admissible(candidate, system.t, system.r):
+            verdicts[key] = False
             return False
         attempts += 1
         if tracer.enabled:
             tracer.count("fuzz.shrink_executions")
         result = execute_script(system, candidate, subseeds, config)
-        return any(
+        verdict = any(
             v.oracle == oracle_name for v in check_execution(system, result)
         )
+        verdicts[key] = verdict
+        return verdict
 
     current: List[Action] = list(actions)
     rounds = 0

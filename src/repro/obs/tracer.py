@@ -180,16 +180,19 @@ class Tracer:
 
         The fuzz pool runs work in forked workers, each capturing its
         event stream into a :class:`~repro.obs.sinks.MemorySink` under a
-        fresh tracer whose span ids start at 0.  The master replays the
-        captured chunks in a deterministic order so the merged stream is
-        identical to a serial run's: span ids are remapped onto this
-        tracer's counter in arrival order (exactly the ids a serial run
-        would have allocated), chunk-top-level parents are re-homed onto
-        the currently open span, timestamps are re-stamped against this
-        tracer's epoch, and counter/gauge totals are folded into the
-        running aggregates so manifests and reports see them.
+        fresh tracer whose span ids start at 0.  Batched pooling ships
+        those chunks per *batch* of runs; the master replays each run's
+        chunks in run-index order -- a deterministic order -- so the
+        merged stream is identical to a serial run's: span ids are
+        remapped onto this tracer's counter in arrival order (exactly
+        the ids a serial run would have allocated), chunk-top-level
+        parents are re-homed onto the currently open span, timestamps
+        are re-stamped against this tracer's epoch, and counter/gauge
+        totals are folded into the running aggregates so manifests and
+        reports see them.  Empty chunks (the common case whenever a
+        captured region emitted nothing) return without allocating.
         """
-        if not self.enabled:
+        if not self.enabled or not events:
             return
         mapping: Dict[int, int] = {}
         for event in events:

@@ -73,6 +73,54 @@ def test_trace_stream_is_worker_count_invariant():
     assert serial_counters == pooled_counters
 
 
+# -- batch-boundary determinism -----------------------------------------
+#
+# The batched merge must stay byte-identical to serial wherever the
+# batch boundaries land: runs not divisible by the worker count, a
+# degenerate one-run-per-task batching, and a single batch swallowing
+# the whole schedule.
+
+
+@pytest.mark.parametrize(
+    "workers,batch_size",
+    [
+        (3, None),  # 7 runs over 3 workers: auto-sized, uneven split
+        (4, 3),  # final batch is a 1-run remainder
+        (4, 1),  # degenerate: one task per run (the PR-5 shape)
+        (4, 64),  # batch larger than the whole schedule: one task
+    ],
+)
+def test_batch_boundaries_match_serial(workers, batch_size):
+    config = FuzzConfig(runs=7)
+    serial = fuzz_campaign(PROTOCOL, "nonfifo", 13, config)
+    pooled = fuzz_campaign(
+        PROTOCOL, "nonfifo", 13, config,
+        workers=workers, batch_size=batch_size,
+    )
+    assert _fingerprint(serial) == _fingerprint(pooled)
+    assert pooled.pool["mode"] == "fork"
+    if batch_size is not None:
+        assert pooled.pool["batch_size"] == batch_size
+
+
+def test_pool_modes_are_surfaced():
+    # workers=1 is plain serial, no fallback annotation.
+    serial = fuzz_campaign(PROTOCOL, "perfect", 3, FuzzConfig(runs=2))
+    assert serial.pool["mode"] == "serial"
+    assert "fallback_reason" not in serial.pool
+    # Parallelism requested but the schedule is below the pool
+    # threshold: the campaign must say so instead of silently serializing.
+    fallback = fuzz_campaign(
+        PROTOCOL, "perfect", 3, FuzzConfig(runs=1), workers=4
+    )
+    assert fallback.pool["mode"] == "serial-fallback"
+    assert "threshold" in fallback.pool["fallback_reason"]
+    # ... and the RunReport envelope carries it to the CLI/JSON side.
+    details = fallback.report().to_dict()["details"]["pool"]
+    assert details["mode"] == "serial-fallback"
+    assert "threshold" in details["fallback_reason"]
+
+
 # -- hardening guards ---------------------------------------------------
 
 
@@ -116,6 +164,105 @@ def test_worker_crash_is_contained():
     assert campaign.pool["failures"] == 3
     assert campaign.violations == []
     assert campaign.report().counters["fuzz.failed_runs"] == 3
+
+
+def test_worker_crash_mid_batch_fails_only_that_batch():
+    """A hard worker death fails exactly the crashing batch's runs.
+
+    Breaking the executor fails *every* pending future, so sibling
+    batches observe the same BrokenProcessPool as the guilty one; the
+    retry-once policy must absolve them (runs are pure) and pin the
+    failure on the batch that breaks the pool twice.
+    """
+    import random
+
+    from repro.conformance import SubSeeds, pool
+    from repro.conformance.registry import FUZZ_CHANNELS
+
+    seed, runs, batch_size = 9, 8, 3
+    master = random.Random(seed)
+    schedule = [SubSeeds.derive(master) for _ in range(runs)]
+    # Run 4 sits in the middle batch (runs 3..5 at batch_size=3).
+    crash_tr = schedule[4].channel_tr
+    base = FUZZ_CHANNELS["perfect"]
+
+    def crashing_channel(src, dst, chan_seed, loss, window, horizon):
+        if pool._WORKER and src == "t" and chan_seed == crash_tr:
+            os._exit(41)
+        return base(src, dst, chan_seed, loss, window, horizon)
+
+    config = FuzzConfig(runs=runs, shrink=False)
+    serial = fuzz_campaign(PROTOCOL, "perfect", seed, config)
+    FUZZ_CHANNELS["_crash_batch"] = crashing_channel
+    try:
+        campaign = fuzz_campaign(
+            PROTOCOL,
+            "_crash_batch",
+            seed,
+            config,
+            workers=2,
+            batch_size=batch_size,
+        )
+    finally:
+        del FUZZ_CHANNELS["_crash_batch"]
+
+    assert len(campaign.runs) == runs
+    failed = [run.index for run in campaign.runs if run.error is not None]
+    assert failed == [3, 4, 5]
+    assert campaign.failed_runs == 3
+    assert campaign.pool["failures"] == 3
+    # The surviving batches are untouched: field-for-field what the
+    # serial campaign produced for those runs.
+    for index in (0, 1, 2, 6, 7):
+        pooled_run, serial_run = campaign.runs[index], serial.runs[index]
+        assert pooled_run.error is None
+        assert pooled_run.subseeds == serial_run.subseeds
+        assert pooled_run.steps == serial_run.steps
+        assert pooled_run.quiescent == serial_run.quiescent
+        assert pooled_run.behavior_length == serial_run.behavior_length
+
+
+def test_batch_budget_times_out_remaining_runs():
+    """A batch gets len(batch) x run_timeout; once the budget is gone,
+    unexecuted runs are recorded as timed out -- and the next batch
+    starts with a fresh budget."""
+    import random
+
+    from repro.conformance import SubSeeds
+    from repro.conformance.pool import run_batch
+
+    master = random.Random(5)
+    schedule = [SubSeeds.derive(master) for _ in range(4)]
+    config = FuzzConfig(runs=4, shrink=False)
+
+    ticks = iter([0.0, 0.2, 50.0, 50.0])  # start, then one check per run
+
+    outcome = run_batch(
+        PROTOCOL,
+        "perfect",
+        5,
+        0,
+        schedule[:3],
+        config,
+        run_timeout=1.0,
+        clock=lambda: next(ticks),
+    )
+    first, second, third = outcome.outcomes
+    assert first.error is None and not first.timed_out
+    assert second.timed_out and "wall-clock" in second.error
+    assert third.timed_out and "wall-clock" in third.error
+    assert second.steps == 0  # never executed, only recorded
+    # A later batch is unaffected: its own budget starts fresh.
+    later = run_batch(
+        PROTOCOL,
+        "perfect",
+        5,
+        3,
+        schedule[3:],
+        config,
+        run_timeout=1.0,
+    )
+    assert [run.error for run in later.outcomes] == [None]
 
 
 def test_run_timeout_records_failed_run():
