@@ -484,10 +484,29 @@ def cmd_growth(args: argparse.Namespace) -> int:
     return _emit(args, report, lines)
 
 
+def _split_codes(values) -> List[str]:
+    """Flatten ``--select/--ignore`` values: both repeats and commas."""
+    codes: List[str] = []
+    for value in values or ():
+        codes.extend(c for c in value.split(",") if c)
+    return codes
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .lint import RULES, lint_targets, target_from, zoo_targets
 
     started = time.perf_counter()
+
+    def _lint_error(message: str, **details) -> int:
+        """A clean error envelope (exit 2), never a traceback."""
+        report = RunReport(
+            command="lint",
+            status=STATUS_ERROR,
+            duration_s=time.perf_counter() - started,
+            details={"error": message, **details},
+        )
+        return _emit(args, report, [f"lint error: {message}"])
+
     if args.list_codes:
         lines = [
             f"{rule.code}  {rule.severity:7s} {rule.name:32s} "
@@ -506,15 +525,68 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         return _emit(args, report, lines)
 
+    # Validate code selections up front: a prefix that matches no
+    # registered code is a spelling mistake, not an empty filter.
+    selected = _split_codes(args.select)
+    ignored = _split_codes(args.ignore)
+    for flag, codes in (("--select", selected), ("--ignore", ignored)):
+        unknown = [
+            code
+            for code in codes
+            if not any(known.startswith(code) for known in RULES)
+        ]
+        if unknown:
+            return _lint_error(
+                f"unknown code(s) for {flag}: {', '.join(unknown)} "
+                f"(see repro lint --list-codes)",
+                flag=flag,
+                unknown=unknown,
+            )
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            return _lint_error(
+                f"cannot read baseline {args.baseline!r}: {exc}",
+                baseline=args.baseline,
+            )
+        if not isinstance(baseline, dict):
+            return _lint_error(
+                f"baseline {args.baseline!r} is not a JSON report object",
+                baseline=args.baseline,
+            )
+
+    evidence = []
+    if args.evidence:
+        from .conformance import load_evidence
+
+        try:
+            evidence = load_evidence(args.evidence)
+        except (OSError, ValueError) as exc:
+            return _lint_error(
+                f"cannot read evidence {args.evidence!r}: {exc}",
+                evidence=args.evidence,
+            )
+
     if args.module:
         import importlib
 
-        module = importlib.import_module(args.module)
+        try:
+            module = importlib.import_module(args.module)
+        except ImportError as exc:
+            return _lint_error(
+                f"cannot import module {args.module!r}: {exc}",
+                module=args.module,
+            )
         try:
             raw_targets = module.LINT_TARGETS
         except AttributeError:
-            raise SystemExit(
-                f"module {args.module!r} defines no LINT_TARGETS"
+            return _lint_error(
+                f"module {args.module!r} defines no LINT_TARGETS",
+                module=args.module,
             )
         environment = getattr(module, "ENVIRONMENT", None)
         targets = [
@@ -533,13 +605,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
         targets,
         messages=args.messages,
         max_states=args.max_states,
+        deep=args.deep_source,
+        evidence=evidence,
     )
-    if args.select:
-        lint_report = lint_report.select(args.select)
+    if selected:
+        lint_report = lint_report.select(selected)
+    if ignored:
+        lint_report = lint_report.ignore(ignored)
+    if baseline is not None:
+        lint_report = lint_report.apply_baseline(baseline)
 
     report = lint_report.report(
         duration_s=time.perf_counter() - started
     )
+    if args.evidence:
+        report.counters["lint.evidence_records"] = len(evidence)
     rendered = (
         json.dumps(lint_report.to_dict(), indent=2)
         if args.format == "json"
@@ -547,8 +627,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     )
     lines: List[str] = []
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+        except OSError as exc:
+            return _lint_error(
+                f"cannot write report to {args.output!r}: {exc}",
+                output=args.output,
+            )
         summary = lint_report.summary()
         lines.append(
             f"wrote {args.output}: {summary['findings']} finding(s) "
@@ -715,6 +801,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.corpus and corpus_new:
         append_entries(args.corpus, corpus_new)
 
+    evidence_record = None
+    if args.evidence:
+        from .conformance import append_evidence, evidence_from_campaign
+
+        evidence_record = evidence_from_campaign(campaign, mix=args.mix)
+        append_evidence(args.evidence, [evidence_record])
+
     lines = [
         f"fuzzed {args.protocol} over {args.channel} "
         f"(seed {args.seed}, {len(campaign.runs)} runs, mix "
@@ -748,11 +841,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         lines.append(
             f"  corpus: +{len(corpus_new)} entries -> {args.corpus}"
         )
+    if evidence_record is not None:
+        lines.append(
+            f"  evidence: recorded {evidence_record.protocol} over "
+            f"{evidence_record.channel} "
+            f"({evidence_record.violations} violation(s)) "
+            f"-> {args.evidence}"
+        )
 
     report = campaign.report()
     report.duration_s = time.perf_counter() - started
     if args.corpus:
         report.details["corpus_replayed"] = len(replay_subseeds)
+    if evidence_record is not None:
+        report.details["evidence"] = evidence_record.to_dict()
+        report.artifacts["evidence"] = args.evidence
     for index, path in enumerate(repro_paths):
         report.artifacts[f"repro_{index}"] = path
     if args.corpus and corpus_new:
@@ -985,7 +1088,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="only report matching codes (prefix match, e.g. REP2)",
     )
     lint.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="CODE",
+        help="suppress matching codes (prefix match, comma-separable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in a previous JSON report",
+    )
+    lint.add_argument(
+        "--deep-source",
+        action="store_true",
+        help=(
+            "run the interprocedural REP3xx analyses (taint, interval, "
+            "crash-escape) and the theorem contradiction gate"
+        ),
+    )
+    lint.add_argument(
+        "--evidence",
+        metavar="FILE",
+        help=(
+            "JSONL fuzz-evidence file (repro fuzz --evidence) for the "
+            "REP304 contradiction gate"
+        ),
+    )
+    lint.add_argument(
         "--module",
+        "--from-module",
+        dest="module",
         help="import lint targets from a module's LINT_TARGETS",
     )
     lint.add_argument(
@@ -1068,6 +1200,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE.jsonl",
         help="corpus registry: matching entries are replayed first, "
         "and this campaign's interesting seeds are appended",
+    )
+    fuzz.add_argument(
+        "--evidence",
+        metavar="FILE.jsonl",
+        help="append this campaign's outcome as an evidence record "
+        "consumed by the repro lint --deep-source contradiction gate",
     )
     fuzz.add_argument(
         "--workers",

@@ -9,6 +9,12 @@ replayable repro files.  ``repro fuzz`` is the CLI entry point.
 """
 
 from .corpus import CorpusEntry, append_entries, load_corpus
+from .evidence import (
+    EvidenceRecord,
+    append_evidence,
+    evidence_from_campaign,
+    load_evidence,
+)
 from .harness import (
     FAULT_MIXES,
     FuzzConfig,
@@ -67,6 +73,7 @@ __all__ = [
     "BatchOutcome",
     "CorpusEntry",
     "DL_ORACLES",
+    "EvidenceRecord",
     "FAULT_MIXES",
     "FUZZ_CHANNELS",
     "FUZZ_PROTOCOLS",
@@ -86,6 +93,7 @@ __all__ = [
     "SubSeeds",
     "ViolationReport",
     "append_entries",
+    "append_evidence",
     "auto_batch_size",
     "build_script",
     "build_system",
@@ -94,11 +102,13 @@ __all__ = [
     "earliest_violating_prefix",
     "encode_script",
     "execute_run",
+    "evidence_from_campaign",
     "execute_script",
     "fuzz_campaign",
     "run_batch",
     "run_schedule",
     "load_corpus",
+    "load_evidence",
     "load_repro",
     "make_repro",
     "oracle_catalog",

@@ -1,0 +1,136 @@
+"""Portable runtime-evidence records bridging fuzzing and deep lint.
+
+A fuzz campaign is an *experiment*: protocol, channel class, fault
+mix, seed, and an outcome (how many runs, which oracles broke).  This
+module persists those outcomes as JSONL so the REP304 contradiction
+gate (:mod:`repro.lint.claims`) can cross-examine a protocol's
+declared claims against what actually happened at runtime:
+
+* a campaign that **violated** an oracle is definitive -- a crash-free
+  violation over a channel class the protocol claims weak correctness
+  over refutes the claim;
+* a campaign that held is *not* evidence of correctness (fuzzing
+  proves presence of bugs, never absence) and the gate ignores it.
+
+Records deliberately carry the :class:`DataLinkProtocol` display name
+(``alternating-bit``), not the fuzz-registry key (``alternating_bit``):
+the lint driver matches evidence to targets by the protocol's own name
+so the same file serves both subsystems.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: fuzz channel registry name -> paper channel class.  ``perfect`` is a
+#: loss-free FIFO channel, squarely inside the paper's C-hat.
+CHANNEL_CLASS: Dict[str, str] = {
+    "fifo": "fifo",
+    "perfect": "fifo",
+    "nonfifo": "nonfifo",
+}
+
+
+@dataclass(frozen=True)
+class EvidenceRecord:
+    """One fuzz campaign's outcome, keyed for the contradiction gate."""
+
+    protocol: str  # DataLinkProtocol.name, e.g. "alternating-bit"
+    registry_name: str  # fuzz registry key, e.g. "alternating_bit"
+    channel: str  # paper channel class: "fifo" or "nonfifo"
+    mix: str  # fault-mix name the campaign ran under
+    crashes: bool  # did the mix inject station crashes?
+    seed: int
+    runs: int
+    violations: int
+    violated_oracles: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {
+            "protocol": self.protocol,
+            "registry_name": self.registry_name,
+            "channel": self.channel,
+            "mix": self.mix,
+            "crashes": self.crashes,
+            "seed": self.seed,
+            "runs": self.runs,
+            "violations": self.violations,
+            "violated_oracles": list(self.violated_oracles),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "EvidenceRecord":
+        return cls(
+            protocol=str(raw["protocol"]),
+            registry_name=str(raw.get("registry_name", "")),
+            channel=str(raw["channel"]),
+            mix=str(raw.get("mix", "default")),
+            crashes=bool(raw.get("crashes", False)),
+            seed=int(raw.get("seed", 0)),
+            runs=int(raw.get("runs", 0)),
+            violations=int(raw.get("violations", 0)),
+            violated_oracles=tuple(raw.get("violated_oracles", ())),
+        )
+
+
+def evidence_from_campaign(campaign, mix: str = "default") -> EvidenceRecord:
+    """Distil one :class:`FuzzCampaignResult` into an evidence record."""
+    from .registry import _normalize, resolve_fuzz_protocol
+
+    registry_name = _normalize(campaign.protocol)
+    protocol = resolve_fuzz_protocol(registry_name).name
+    oracles: List[str] = []
+    for violation in campaign.violations:
+        oracle = violation.violation.oracle
+        if oracle not in oracles:
+            oracles.append(oracle)
+    # The deep oracles are campaign-level properties, not per-run trace
+    # predicates; a failed one is a violation all the same.
+    for key, held in sorted((campaign.deep or {}).items()):
+        if not held:
+            oracles.append(f"deep:{key}")
+    return EvidenceRecord(
+        protocol=protocol,
+        registry_name=registry_name,
+        channel=CHANNEL_CLASS.get(
+            _normalize(campaign.channel), _normalize(campaign.channel)
+        ),
+        mix=mix,
+        crashes=campaign.config.crash_probability > 0,
+        seed=campaign.seed,
+        runs=len(campaign.runs),
+        violations=len(campaign.violations)
+        + sum(1 for o in oracles if o.startswith("deep:")),
+        violated_oracles=tuple(oracles),
+    )
+
+
+def append_evidence(path: str, records: Iterable[EvidenceRecord]) -> int:
+    """Append records to a JSONL evidence file; returns how many."""
+    records = list(records)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def load_evidence(path: str) -> List[EvidenceRecord]:
+    """Read a JSONL evidence file (raises OSError if unreadable)."""
+    records: List[EvidenceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for index, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(EvidenceRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as error:
+                raise ValueError(
+                    f"{path}:{index}: malformed evidence record: {error}"
+                )
+    return records

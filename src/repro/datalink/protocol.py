@@ -353,6 +353,14 @@ class DataLinkProtocol:
     ``on_crash`` does *not* reset all state (i.e. the protocol is **not**
     crashing in the paper's sense); the checker in
     :mod:`repro.datalink.crashing` verifies the declaration.
+
+    ``claims`` is an optional plain dict of paper-taxonomy properties
+    the author asserts about the protocol (keys such as
+    ``message_independent``, ``bounded_headers``, ``crashing``,
+    ``k_bounded``, ``weakly_correct_over``, ``tolerates_crashes``).
+    It is deliberately untyped here -- :mod:`repro.lint.claims` parses
+    and validates it, and the REP304 contradiction gate checks it
+    against inferred properties and recorded fuzz evidence.
     """
 
     name: str
@@ -360,6 +368,7 @@ class DataLinkProtocol:
     receiver_factory: Callable[[], ReceiverLogic]
     crash_resilient: bool = False
     description: str = ""
+    claims: Optional[dict] = None
 
     def build(
         self, t: str = "t", r: str = "r", ghost_uids: bool = True

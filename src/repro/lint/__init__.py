@@ -10,14 +10,18 @@ headers (§8) -- with ruff-style diagnostics: stable codes, severities,
 line as ``python -m repro lint``.
 
 Rules live in :mod:`.semantic` (sweeps over a bounded explored state
-space) and :mod:`.source` (AST audits of protocol logic classes) and
-register themselves in :mod:`.registry`; importing this package loads
-both rule modules.
+space), :mod:`.source` (AST audits of protocol logic classes), and the
+deep-analysis modules :mod:`.taint` / :mod:`.intervals` /
+:mod:`.claims` (interprocedural dataflow on the :mod:`.dataflow`
+engine, run under ``--deep-source``); all register themselves in
+:mod:`.registry` when this package is imported.  The import order
+below fixes the REP301 < REP302 < REP303 < REP304 registration order.
 """
 
 from .diagnostics import Diagnostic, LintReport, REPORT_VERSION
 from .registry import RULES, LintRule, rules_for
 from .driver import (
+    DeepAudit,
     LintTarget,
     lint_one,
     lint_targets,
@@ -31,8 +35,35 @@ from .semantic import (
     build_protocol_model,
 )
 from .source import SourceAudit, build_source_audits, class_sources
+from .dataflow import AnalysisResult, analyze_station
+from .taint import check_message_taint, message_independent
+from .intervals import HeaderReport, check_header_intervals, header_report
+from .claims import (
+    CrashReport,
+    ProtocolClaims,
+    build_verdict,
+    check_contradictions,
+    check_crash_escape,
+    crash_report,
+    parse_claims,
+)
 
 __all__ = [
+    "AnalysisResult",
+    "CrashReport",
+    "DeepAudit",
+    "HeaderReport",
+    "ProtocolClaims",
+    "analyze_station",
+    "build_verdict",
+    "check_contradictions",
+    "check_crash_escape",
+    "check_header_intervals",
+    "check_message_taint",
+    "crash_report",
+    "header_report",
+    "message_independent",
+    "parse_claims",
     "AutomatonModel",
     "Diagnostic",
     "ExploredModel",

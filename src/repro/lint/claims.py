@@ -1,0 +1,493 @@
+"""Declared claims, crash escape analysis, and the contradiction gate.
+
+This module hosts the last two deep rules:
+
+* **REP303** infers the paper's *crashing* hypothesis (§5.3.2/§7) by
+  escape analysis: ``on_crash`` is interpreted with every core field
+  tainted by its own name, construction-time mode flags resolved
+  against the live logic instance (so ``if self.nonvolatile:`` prunes
+  exactly), and a field whose post-crash value still carries core
+  taint *survives* the crash.  A surviving field that other methods
+  read is stable storage; declaring ``crash_resilient=False`` while
+  keeping stable storage is flagged.
+* **REP304** is the theorem contradiction gate.  Each protocol may
+  declare a ``claims`` dict; the gate cross-checks the claims against
+  the protocol's metadata, the properties *inferred* by REP301-REP303,
+  the combinations forbidden outright by Theorem 7.5 (no crashing
+  message-independent protocol tolerates crashes) and Theorem 8.5 (no
+  message-independent bounded-header k-bounded protocol is weakly
+  correct over non-FIFO channels), and any recorded fuzz evidence
+  (a crash-free violation over a channel class the protocol claims to
+  be weakly correct over is a definitive refutation; a *clean* fuzz
+  run proves nothing and is never used as positive evidence).
+
+Claims are plain dicts on :class:`DataLinkProtocol` so protocol
+modules never import the lint package::
+
+    claims={
+        "message_independent": True,
+        "bounded_headers": True,
+        "crashing": True,
+        "k_bounded": 1,
+        "weakly_correct_over": ("fifo",),
+        "tolerates_crashes": False,
+    }
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .dataflow import (
+    Analyzer,
+    ProgramModel,
+    Record,
+    SourceAudit,
+    taint_of,
+    value_of_concrete,
+)
+from .intervals import header_report
+from .registry import RULES, rule
+from .source import _effective_on_crash
+from .taint import message_independent
+
+#: Channel classes a protocol may claim weak correctness over.
+CHANNEL_CLASSES = ("fifo", "nonfifo")
+
+_CLAIM_KEYS = {
+    "message_independent",
+    "bounded_headers",
+    "crashing",
+    "k_bounded",
+    "weakly_correct_over",
+    "tolerates_crashes",
+}
+
+
+@dataclass(frozen=True)
+class ProtocolClaims:
+    """Validated per-protocol hypothesis declarations."""
+
+    message_independent: Optional[bool] = None
+    bounded_headers: Optional[bool] = None
+    crashing: Optional[bool] = None
+    k_bounded: Optional[int] = None
+    weakly_correct_over: Tuple[str, ...] = ()
+    tolerates_crashes: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "message_independent": self.message_independent,
+            "bounded_headers": self.bounded_headers,
+            "crashing": self.crashing,
+            "k_bounded": self.k_bounded,
+            "weakly_correct_over": list(self.weakly_correct_over),
+            "tolerates_crashes": self.tolerates_crashes,
+        }
+
+
+class ClaimError(ValueError):
+    """A malformed ``claims`` declaration."""
+
+
+def parse_claims(raw) -> Optional[ProtocolClaims]:
+    """Validate a protocol's ``claims`` dict (None passes through)."""
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ClaimError(f"claims must be a dict, got {type(raw).__name__}")
+    unknown = set(raw) - _CLAIM_KEYS
+    if unknown:
+        raise ClaimError(
+            f"unknown claim keys: {', '.join(sorted(unknown))}"
+        )
+    for key in ("message_independent", "bounded_headers", "crashing"):
+        if key in raw and not isinstance(raw[key], bool):
+            raise ClaimError(f"claim {key!r} must be a bool")
+    k = raw.get("k_bounded")
+    if k is not None and (not isinstance(k, int) or k < 1):
+        raise ClaimError("claim 'k_bounded' must be a positive int")
+    wco = tuple(raw.get("weakly_correct_over", ()))
+    bad = [c for c in wco if c not in CHANNEL_CLASSES]
+    if bad:
+        raise ClaimError(
+            f"claim 'weakly_correct_over' entries must be in "
+            f"{CHANNEL_CLASSES}, got {bad}"
+        )
+    tolerates = raw.get("tolerates_crashes", False)
+    if not isinstance(tolerates, bool):
+        raise ClaimError("claim 'tolerates_crashes' must be a bool")
+    return ProtocolClaims(
+        message_independent=raw.get("message_independent"),
+        bounded_headers=raw.get("bounded_headers"),
+        crashing=raw.get("crashing"),
+        k_bounded=k,
+        weakly_correct_over=wco,
+        tolerates_crashes=tolerates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Crash escape analysis
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CrashReport:
+    """What survives ``on_crash`` for one station.
+
+    ``survivors`` is ``None`` when the analysis could not resolve the
+    post-crash state (unverified), otherwise the set of core fields
+    whose post-crash value still depends on the pre-crash core.
+    """
+
+    audit: SourceAudit
+    survivors: Optional[Set[str]]
+    relevant: Set[str]
+
+    @property
+    def stable_fields(self) -> Set[str]:
+        if self.survivors is None:
+            return set()
+        return self.survivors & self.relevant
+
+    @property
+    def crashing(self) -> bool:
+        """Proven to lose all observable state on crash (§5.3.2)."""
+        return self.survivors is not None and not self.stable_fields
+
+
+def _core_field_names(audit: SourceAudit) -> List[str]:
+    try:
+        core = value_of_concrete(audit.logic.initial_core())
+    except Exception:
+        return []
+    if not isinstance(core, Record):
+        return []
+    return [name for name, _ in core.fields]
+
+
+def _relevant_fields(model: ProgramModel, names: List[str]) -> Set[str]:
+    """Core fields read (as ``<var>.<field>``) outside on_crash."""
+    relevant: Set[str] = set()
+    infos = [
+        info
+        for name, info in model.methods.items()
+        if name not in ("on_crash", "initial_core")
+    ] + list(model.helpers.values())
+    for info in infos:
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in names
+                and isinstance(node.value, ast.Name)
+                and node.value.id != "self"
+            ):
+                relevant.add(node.attr)
+    return relevant
+
+
+def crash_report(audit: SourceAudit) -> CrashReport:
+    """Escape-analyze (and cache) one station's ``on_crash``."""
+    cached = getattr(audit, "_crash_report", None)
+    if cached is not None:
+        return cached
+    names = _core_field_names(audit)
+    model = ProgramModel(audit)
+    relevant = _relevant_fields(model, names)
+    if "on_crash" not in model.methods:
+        # The inherited default resets to initial_core(): crashing.
+        report = CrashReport(audit, set(), relevant)
+        audit._crash_report = report  # type: ignore[attr-defined]
+        return report
+    try:
+        seeded_core = value_of_concrete(audit.logic.initial_core())
+        assert isinstance(seeded_core, Record)
+        seeded = Record(
+            seeded_core.taint,
+            seeded_core.tag,
+            tuple(
+                (
+                    name,
+                    value.with_taint(frozenset([("core", name)])),
+                )
+                for name, value in seeded_core.fields
+            ),
+        )
+        analyzer = Analyzer(model)
+        frame = analyzer.run_method("on_crash", seeded)
+        survivors: Optional[Set[str]] = set()
+        for returned in frame.returns:
+            if (
+                isinstance(returned, Record)
+                and returned.tag == seeded.tag
+            ):
+                for name, value in returned.fields:
+                    if any(
+                        t and t[0] == "core" for t in taint_of(value)
+                    ):
+                        survivors.add(name)
+            else:
+                survivors = None  # post-crash state unresolved
+                break
+        report = CrashReport(audit, survivors, relevant)
+    except Exception:
+        report = CrashReport(audit, None, relevant)
+    audit._crash_report = report  # type: ignore[attr-defined]
+    return report
+
+
+def _rep202_fired(audit: SourceAudit) -> bool:
+    checker = RULES["REP202"].checker
+    return any(True for _ in checker(audit))
+
+
+@rule(
+    "REP303",
+    "stable-storage-escape",
+    "§5.3.2/§7",
+    "state escaping on_crash is stable storage and must be declared",
+    family="deep",
+)
+def check_crash_escape(deep):
+    """Flag undeclared stable storage surviving ``on_crash``."""
+    for audit in deep.audits:
+        if audit.crash_resilient:
+            continue  # stable storage is declared; REP202 audits it
+        if _rep202_fired(audit):
+            continue  # the syntactic rule already reported this station
+        report = crash_report(audit)
+        override = _effective_on_crash(audit)
+        if override is None:
+            continue
+        source, function = override
+        location = {
+            "file": source.file,
+            "line": source.absolute_line(function),
+        }
+        if report.survivors is None:
+            yield {
+                "message": (
+                    f"{audit.station} logic of {audit.target} overrides "
+                    f"on_crash but the escape analysis could not "
+                    f"resolve the post-crash state; the crashing "
+                    f"hypothesis (crash_resilient=False) is unverified"
+                ),
+                **location,
+            }
+            continue
+        for field in sorted(report.stable_fields):
+            yield {
+                "message": (
+                    f"{audit.station} logic of {audit.target} keeps "
+                    f"core field {field!r} across on_crash and reads "
+                    f"it after recovery: that is stable storage, "
+                    f"contradicting crash_resilient=False (the §5.3.2 "
+                    f"crashing hypothesis behind Theorem 7.5)"
+                ),
+                **location,
+            }
+
+
+# ----------------------------------------------------------------------
+# Inferred verdicts
+# ----------------------------------------------------------------------
+
+
+def station_verdict(audit: SourceAudit) -> Dict:
+    """Inferred per-station properties (all proofs, not declarations)."""
+    headers = header_report(audit)
+    crash = crash_report(audit)
+    return {
+        "station": audit.station,
+        "message_independent": message_independent(audit),
+        "bounded_headers_declared": headers.declared,
+        "bounded_headers_proven": headers.proven,
+        "header_sites": len(headers.sites),
+        "crashing": crash.crashing,
+        "stable_fields": sorted(crash.stable_fields),
+    }
+
+
+def build_verdict(deep) -> Dict:
+    """The JSON verdict row for one protocol (inferred + declared)."""
+    stations = [station_verdict(audit) for audit in deep.audits]
+    inferred = {
+        "message_independent": all(
+            s["message_independent"] for s in stations
+        ),
+        "bounded_headers": all(
+            s["bounded_headers_proven"] for s in stations
+        ),
+        "crashing": all(s["crashing"] for s in stations),
+    }
+    claims = None
+    if deep.claims is not None:
+        claims = deep.claims.to_dict()
+    return {
+        "target": deep.name,
+        "inferred": inferred,
+        "stations": stations,
+        "claims": claims,
+        "evidence_records": len(deep.evidence),
+    }
+
+
+# ----------------------------------------------------------------------
+# REP304: the contradiction gate
+# ----------------------------------------------------------------------
+
+
+def _violated(record) -> bool:
+    violations = getattr(record, "violations", 0)
+    try:
+        return bool(violations)
+    except Exception:
+        return False
+
+
+@rule(
+    "REP304",
+    "theorem-contradiction",
+    "§7.5/§8.5",
+    "claims must be consistent with the theorems, the analyses, and evidence",
+    family="deep",
+)
+def check_contradictions(deep):
+    """Cross-check declared claims against theory, inference, evidence."""
+    location = {"file": deep.file, "line": deep.line}
+    if deep.claims_error is not None:
+        yield {
+            "message": (
+                f"{deep.name} declares malformed claims: "
+                f"{deep.claims_error}"
+            ),
+            **location,
+        }
+        return
+    claims = deep.claims
+    if claims is None:
+        return
+    protocol = deep.protocol
+    stations = [station_verdict(audit) for audit in deep.audits]
+    inferred_mi = all(s["message_independent"] for s in stations)
+    inferred_crashing = all(s["crashing"] for s in stations)
+    declared_bounded = protocol.has_bounded_headers()
+
+    # (a) internal consistency with the protocol's own metadata
+    if (
+        claims.crashing is not None
+        and claims.crashing != (not protocol.crash_resilient)
+    ):
+        yield {
+            "message": (
+                f"{deep.name} claims crashing="
+                f"{claims.crashing} but declares crash_resilient="
+                f"{protocol.crash_resilient}; the two metadata "
+                f"channels contradict each other"
+            ),
+            **location,
+        }
+    if (
+        claims.bounded_headers is not None
+        and claims.bounded_headers != declared_bounded
+    ):
+        yield {
+            "message": (
+                f"{deep.name} claims bounded_headers="
+                f"{claims.bounded_headers} but header_space() is "
+                f"{'finite' if declared_bounded else 'unbounded'}"
+            ),
+            **location,
+        }
+
+    # (b) claims contradicted by the static analyses
+    if claims.message_independent and not inferred_mi:
+        yield {
+            "message": (
+                f"{deep.name} claims message independence but the "
+                f"taint analysis (REP301/REP201) found payload "
+                f"dependence"
+            ),
+            **location,
+        }
+    if claims.crashing and not inferred_crashing:
+        yield {
+            "message": (
+                f"{deep.name} claims to be crashing but the escape "
+                f"analysis found state surviving on_crash"
+            ),
+            **location,
+        }
+
+    # (c) Theorem 7.5: crashing + message-independent protocols cannot
+    # tolerate crashes over FIFO physical channels.
+    if (
+        claims.tolerates_crashes
+        and claims.crashing
+        and claims.message_independent
+    ):
+        yield {
+            "message": (
+                f"{deep.name} claims a crashing, message-independent "
+                f"protocol that tolerates crashes: forbidden by "
+                f"Theorem 7.5 (no such protocol is weakly correct "
+                f"under crashes, even over FIFO channels)"
+            ),
+            **location,
+        }
+
+    # (d) Theorem 8.5: message-independent + bounded headers +
+    # k-bounded cannot be weakly correct over non-FIFO channels.
+    if (
+        claims.message_independent
+        and claims.bounded_headers
+        and claims.k_bounded is not None
+        and "nonfifo" in claims.weakly_correct_over
+    ):
+        yield {
+            "message": (
+                f"{deep.name} claims a message-independent, "
+                f"bounded-header, {claims.k_bounded}-bounded protocol "
+                f"weakly correct over non-FIFO channels: forbidden by "
+                f"Theorem 8.5"
+            ),
+            **location,
+        }
+
+    # (e) recorded runtime evidence: a violation is definitive, a
+    # clean campaign proves nothing.
+    for record in deep.evidence:
+        if not _violated(record):
+            continue
+        channel = getattr(record, "channel", None)
+        crashes = bool(getattr(record, "crashes", False))
+        oracles = ", ".join(getattr(record, "violated_oracles", ()) or ())
+        if not crashes and channel in claims.weakly_correct_over:
+            yield {
+                "message": (
+                    f"{deep.name} claims weak correctness over "
+                    f"{channel} channels but a recorded crash-free "
+                    f"fuzz campaign (seed "
+                    f"{getattr(record, 'seed', '?')}) violated "
+                    f"{oracles or 'its oracles'}: the claim is "
+                    f"refuted by runtime evidence"
+                ),
+                **location,
+            }
+        if (
+            crashes
+            and claims.tolerates_crashes
+            and channel in claims.weakly_correct_over
+        ):
+            yield {
+                "message": (
+                    f"{deep.name} claims to tolerate crashes over "
+                    f"{channel} channels but a recorded crash fuzz "
+                    f"campaign (seed {getattr(record, 'seed', '?')}) "
+                    f"violated {oracles or 'its oracles'}"
+                ),
+                **location,
+            }

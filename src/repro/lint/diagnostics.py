@@ -11,7 +11,7 @@ CI lint job; additions must be backward compatible.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 #: Recognized severities, most severe first.
@@ -66,23 +66,65 @@ class Diagnostic:
 
 @dataclass
 class LintReport:
-    """All findings of one lint run over a sequence of targets."""
+    """All findings of one lint run over a sequence of targets.
+
+    ``verdicts`` carries one per-protocol property table per deep-lint
+    target (``repro lint --deep-source``); it is empty otherwise.
+    """
 
     diagnostics: List[Diagnostic]
     targets: List[str]
+    verdicts: List[Dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.diagnostics
 
+    def _with(self, diagnostics: List[Diagnostic]) -> "LintReport":
+        return LintReport(
+            diagnostics, list(self.targets), list(self.verdicts)
+        )
+
     def select(self, prefixes: Sequence[str]) -> "LintReport":
         """Keep only diagnostics whose code matches a prefix (ruff-style)."""
-        kept = [
-            d
-            for d in self.diagnostics
-            if any(d.code.startswith(p) for p in prefixes)
-        ]
-        return LintReport(kept, list(self.targets))
+        return self._with(
+            [
+                d
+                for d in self.diagnostics
+                if any(d.code.startswith(p) for p in prefixes)
+            ]
+        )
+
+    def ignore(self, prefixes: Sequence[str]) -> "LintReport":
+        """Drop diagnostics whose code matches a prefix (the counterpart
+        to :meth:`select`)."""
+        return self._with(
+            [
+                d
+                for d in self.diagnostics
+                if not any(d.code.startswith(p) for p in prefixes)
+            ]
+        )
+
+    def apply_baseline(self, baseline: Dict) -> "LintReport":
+        """Suppress findings already recorded in ``baseline``.
+
+        ``baseline`` is a previously-written JSON report (the
+        :meth:`to_dict` schema).  Findings match on ``(code, target,
+        file)`` -- line numbers drift too easily to key on -- so CI can
+        gate on *new* diagnostics only.
+        """
+        known = {
+            (f.get("code"), f.get("target"), f.get("file"))
+            for f in baseline.get("findings", ())
+        }
+        return self._with(
+            [
+                d
+                for d in self.diagnostics
+                if (d.code, d.target, relative_path(d.file)) not in known
+            ]
+        )
 
     def summary(self) -> Dict:
         by_code: Dict[str, int] = {}
@@ -100,13 +142,16 @@ class LintReport:
         }
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "version": REPORT_VERSION,
             "tool": "repro-lint",
             "targets": list(self.targets),
             "findings": [d.to_dict() for d in self.diagnostics],
             "summary": self.summary(),
         }
+        if self.verdicts:
+            payload["verdicts"] = list(self.verdicts)
+        return payload
 
     def report(self, duration_s: float = 0.0):
         """This lint run as the unified :class:`~repro.obs.RunReport`."""
@@ -127,8 +172,30 @@ class LintReport:
             details=self.to_dict(),
         )
 
+    def render_verdicts(self) -> str:
+        """The deep-lint verdict table: inferred §8 taxonomy per target."""
+        if not self.verdicts:
+            return ""
+        header = f"{'target':<28} {'msg-indep':>9} {'bounded':>8} {'crashing':>9} {'claims':>7}"
+        lines = [header, "-" * len(header)]
+        for verdict in self.verdicts:
+            inferred = verdict.get("inferred", {})
+            mark = lambda flag: "yes" if flag else "NO"  # noqa: E731
+            lines.append(
+                f"{verdict.get('target', '?'):<28} "
+                f"{mark(inferred.get('message_independent')):>9} "
+                f"{mark(inferred.get('bounded_headers')):>8} "
+                f"{mark(inferred.get('crashing')):>9} "
+                f"{'yes' if verdict.get('claims') else '-':>7}"
+            )
+        return "\n".join(lines)
+
     def render_text(self) -> str:
         lines = [d.render() for d in self.diagnostics]
+        if self.verdicts:
+            if lines:
+                lines.append("")
+            lines.append(self.render_verdicts())
         summary = self.summary()
         if self.diagnostics:
             lines.append("")

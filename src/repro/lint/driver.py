@@ -17,8 +17,8 @@ lint`` audits the whole zoo by default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..datalink.protocol import DataLinkProtocol
 from ..ioa.actions import Action
@@ -32,9 +32,28 @@ from .semantic import (
     callable_location,
     class_location,
 )
-from .source import build_source_audits
+from .source import SourceAudit, build_source_audits
 
 Environment = Optional[Callable[[State], Iterable[Action]]]
+
+
+@dataclass
+class DeepAudit:
+    """Input to the ``deep`` rule family for one protocol target.
+
+    Bundles both stations' source audits with the protocol's parsed
+    claims (or the parse error) and any recorded fuzz evidence whose
+    protocol name matches the target.
+    """
+
+    protocol: DataLinkProtocol
+    name: str
+    file: str
+    line: int
+    audits: List[SourceAudit]
+    claims: Optional[object] = None
+    claims_error: Optional[str] = None
+    evidence: List[object] = field(default_factory=list)
 
 
 @dataclass
@@ -106,8 +125,16 @@ def lint_one(
     messages: int = 2,
     max_states: int = 2000,
     max_depth: int = 50,
+    deep: bool = False,
+    evidence: Optional[Iterable[object]] = None,
+    verdicts: Optional[List[Dict]] = None,
 ) -> List[Diagnostic]:
-    """All diagnostics for one target, in rule-registration order."""
+    """All diagnostics for one target, in rule-registration order.
+
+    ``deep=True`` additionally runs the ``deep`` family (REP3xx) on
+    protocol targets, filtering ``evidence`` records by protocol name
+    and appending one verdict row per protocol to ``verdicts``.
+    """
     try:
         built = target.build()
     except SignatureError as error:
@@ -157,6 +184,39 @@ def lint_one(
                 _finish(rule, target.name, raw)
                 for raw in rule.checker(audit)
             )
+    if deep and isinstance(built, DataLinkProtocol):
+        # Lazy import: the deep modules register REP301..REP304 in
+        # code order via the package __init__; importing them here at
+        # module scope would scramble that order.
+        from .claims import ClaimError, build_verdict, parse_claims
+
+        try:
+            parsed = parse_claims(getattr(built, "claims", None))
+            claims_error = None
+        except ClaimError as error:
+            parsed, claims_error = None, str(error)
+        records = [
+            record
+            for record in (evidence or [])
+            if getattr(record, "protocol", None) == built.name
+        ]
+        deep_audit = DeepAudit(
+            protocol=built,
+            name=target.name,
+            file=target.file,
+            line=target.line,
+            audits=audits,
+            claims=parsed,
+            claims_error=claims_error,
+            evidence=records,
+        )
+        for rule in rules_for("deep"):
+            diagnostics.extend(
+                _finish(rule, target.name, raw)
+                for raw in rule.checker(deep_audit)
+            )
+        if verdicts is not None:
+            verdicts.append(build_verdict(deep_audit))
     return diagnostics
 
 
@@ -165,10 +225,14 @@ def lint_targets(
     messages: int = 2,
     max_states: int = 2000,
     max_depth: int = 50,
+    deep: bool = False,
+    evidence: Optional[Iterable[object]] = None,
 ) -> LintReport:
     """Lint every target and collect one report."""
     normalized = [target_from(t) for t in targets]
+    evidence = list(evidence or [])
     diagnostics: List[Diagnostic] = []
+    verdicts: List[Dict] = []
     for target in normalized:
         diagnostics.extend(
             lint_one(
@@ -176,6 +240,11 @@ def lint_targets(
                 messages=messages,
                 max_states=max_states,
                 max_depth=max_depth,
+                deep=deep,
+                evidence=evidence,
+                verdicts=verdicts,
             )
         )
-    return LintReport(diagnostics, [t.name for t in normalized])
+    return LintReport(
+        diagnostics, [t.name for t in normalized], verdicts
+    )

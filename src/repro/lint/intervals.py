@@ -1,0 +1,237 @@
+"""Bounded-header verification via interval analysis (REP302).
+
+REP203 is a fast syntactic heuristic: *any* unreduced arithmetic in a
+``Packet`` header expression is suspicious.  This module runs the real
+analysis on top of :mod:`repro.lint.dataflow`: every ``Packet(...)``
+construction site reachable from the protocol methods is captured with
+the abstract value of its header at the stable core-field fixpoint,
+and checked against the station's *declared* ``header_space()``.
+
+The check is a product-closure membership test: a site is *covered*
+when every position of its header value lies inside the projection of
+the declared space onto that position.  The product of finite
+projections is finite, so coverage proves the §8 bounded-header
+hypothesis even when the abstraction cannot track cross-position
+correlations.
+
+Because the ``packet`` parameter of ``on_packet``/``after_send`` is
+clamped to the declared spaces of both stations, coverage of every
+send site is an inductive invariant: assuming peers only emit declared
+headers, this station only emits declared headers.
+
+Two consumers:
+
+* the REP302 rule (family ``deep``) flags uncovered sites -- e.g. a
+  monotone counter flowing into a header while a finite space is
+  declared -- unless REP203 already flagged the same station;
+* :func:`proven_packet_lines` feeds the REP203 checker so the blunt
+  heuristic is suppressed exactly where the interval analysis proves
+  the site finite (e.g. ``seq % 2 + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from .dataflow import (
+    NEG_INF,
+    POS_INF,
+    Bottom,
+    Interval,
+    NoneVal,
+    Site,
+    StrSet,
+    TupleVal,
+    Value,
+    analyze_station,
+)
+from .registry import RULES, rule
+from .source import SourceAudit
+
+#: Refuse to enumerate integer ranges wider than this when checking
+#: membership in a declared space.
+_ENUM_LIMIT = 4096
+
+
+def _atom_covered(value: Value, atoms: frozenset) -> bool:
+    """Is every concretization of ``value`` one of ``atoms``?"""
+    if isinstance(value, Bottom):
+        return True
+    if isinstance(value, StrSet):
+        if value.values is None:
+            return False
+        strings = {a for a in atoms if isinstance(a, str)}
+        return value.values <= strings
+    if isinstance(value, Interval):
+        if value.lo in (NEG_INF, POS_INF) or value.hi in (
+            NEG_INF,
+            POS_INF,
+        ):
+            return False
+        if value.hi - value.lo > _ENUM_LIMIT:
+            return False
+        numbers = {
+            int(a)
+            for a in atoms
+            if isinstance(a, (int, bool)) and not isinstance(a, str)
+        }
+        return all(
+            n in numbers
+            for n in range(int(value.lo), int(value.hi) + 1)
+        )
+    if isinstance(value, NoneVal):
+        return None in atoms
+    return False
+
+
+def site_covered(value: Value, space: frozenset) -> bool:
+    """Product-closure membership of a header value in a space."""
+    if isinstance(value, TupleVal):
+        candidates = [
+            h
+            for h in space
+            if isinstance(h, tuple) and len(h) == len(value.items)
+        ]
+        if not candidates:
+            return False
+        for position, item in enumerate(value.items):
+            atoms = frozenset(h[position] for h in candidates)
+            if not _atom_covered(item, atoms):
+                return False
+        return True
+    scalars = frozenset(h for h in space if not isinstance(h, tuple))
+    return _atom_covered(value, scalars)
+
+
+@dataclass
+class SiteVerdict:
+    site: Site
+    covered: bool
+
+
+@dataclass
+class HeaderReport:
+    """Interval-analysis verdict for one station."""
+
+    audit: SourceAudit
+    declared: bool  # the station declares a finite header_space()
+    sites: List[SiteVerdict]
+    error: Optional[str] = None
+
+    @property
+    def proven(self) -> bool:
+        """True iff bounded headers are *proven*, not just declared."""
+        return (
+            self.declared
+            and self.error is None
+            and all(verdict.covered for verdict in self.sites)
+        )
+
+
+def header_report(audit: SourceAudit) -> HeaderReport:
+    """Analyze (and cache) the header sites of one station."""
+    cached = getattr(audit, "_header_report", None)
+    if cached is not None:
+        return cached
+    space = getattr(audit, "own_header_space", None)
+    declared = audit.bounded_headers and space is not None
+    try:
+        analysis = analyze_station(audit)
+        sites = [
+            SiteVerdict(
+                site,
+                declared and site_covered(site.value, space),
+            )
+            for site in analysis.header_sites
+        ]
+        report = HeaderReport(audit, declared, sites)
+    except Exception as error:  # analysis must never crash the lint
+        report = HeaderReport(audit, declared, [], error=repr(error))
+    audit._header_report = report  # type: ignore[attr-defined]
+    return report
+
+
+def proven_packet_lines(audit: SourceAudit) -> Set[Tuple[str, int]]:
+    """(file, line) of Packet sites proven inside the declared space.
+
+    REP203 suppresses its arithmetic heuristic at these sites.
+    """
+    report = header_report(audit)
+    return {
+        (verdict.site.file, verdict.site.line)
+        for verdict in report.sites
+        if verdict.covered
+    }
+
+
+def _rep203_fired(audit: SourceAudit) -> bool:
+    checker = RULES["REP203"].checker
+    return any(True for _ in checker(audit))
+
+
+@rule(
+    "REP302",
+    "unproven-header-bound",
+    "§8",
+    "declared finite header spaces must be provable by interval analysis",
+    family="deep",
+)
+def check_header_intervals(deep):
+    """Flag header sites the interval analysis cannot bound."""
+    for audit in deep.audits:
+        if not audit.bounded_headers:
+            continue  # unbounded by declaration; nothing to prove
+        if _rep203_fired(audit):
+            continue  # the fast heuristic already reported this station
+        report = header_report(audit)
+        if report.error is not None:
+            yield {
+                "message": (
+                    f"{audit.station} logic of {audit.target} declares "
+                    f"a finite header_space() but the interval "
+                    f"analysis failed ({report.error}); the bound is "
+                    f"unverified"
+                ),
+                "file": audit.classes[0].file if audit.classes else "<unknown>",
+                "line": audit.classes[0].line if audit.classes else 0,
+            }
+            continue
+        for verdict in report.sites:
+            if verdict.covered:
+                continue
+            yield {
+                "message": (
+                    f"{audit.station} logic of {audit.target} builds a "
+                    f"Packet whose header the interval analysis cannot "
+                    f"keep inside the declared header_space(): the "
+                    f"inferred value {render_value(verdict.site.value)} "
+                    f"escapes the finite bound (headers(A, ==) would "
+                    f"be infinite, §8)"
+                ),
+                "file": verdict.site.file,
+                "line": verdict.site.line,
+            }
+
+
+def render_value(value: Value) -> str:
+    """Human-readable rendering of an abstract header value."""
+    if isinstance(value, Interval):
+        lo = "-inf" if value.lo == NEG_INF else int(value.lo)
+        hi = "+inf" if value.hi == POS_INF else int(value.hi)
+        return f"[{lo}, {hi}]"
+    if isinstance(value, StrSet):
+        if value.values is None:
+            return "str"
+        return "{" + ", ".join(sorted(value.values)) + "}"
+    if isinstance(value, TupleVal):
+        return (
+            "("
+            + ", ".join(render_value(item) for item in value.items)
+            + ")"
+        )
+    if isinstance(value, NoneVal):
+        return "None"
+    if isinstance(value, Bottom):
+        return "unreachable"
+    return type(value).__name__.replace("Val", "").lower()

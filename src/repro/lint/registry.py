@@ -20,6 +20,13 @@ Rule families
     AST audits of a protocol's logic classes.  Checker signature:
     ``checker(audit) -> ...`` with a :class:`~repro.lint.source.SourceAudit`.
 
+``deep``
+    Interprocedural dataflow analyses (REP3xx) plus the theorem
+    contradiction gate, run only under ``repro lint --deep-source``.
+    Checker signature: ``checker(deep) -> ...`` with a
+    :class:`~repro.lint.driver.DeepAudit` (both stations' audits,
+    parsed claims, recorded fuzz evidence).
+
 Raw findings are dicts with ``message``, ``file`` and ``line`` keys; the
 driver completes them into :class:`~repro.lint.diagnostics.Diagnostic`
 objects using the rule's metadata.
@@ -32,7 +39,7 @@ from typing import Callable, Dict, List
 
 from .diagnostics import SEVERITIES
 
-FAMILIES = ("build", "semantic", "source")
+FAMILIES = ("build", "semantic", "source", "deep")
 
 
 @dataclass(frozen=True)

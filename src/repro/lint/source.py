@@ -71,6 +71,11 @@ class SourceAudit:
     classes: List[ClassSource] = field(default_factory=list)
     bounded_headers: bool = False
     crash_resilient: bool = False
+    #: The station's declared ``header_space()`` (None when unbounded),
+    #: and the peer station's -- the deep analyses clamp incoming
+    #: packet headers to their union (see :mod:`repro.lint.dataflow`).
+    own_header_space: Optional[frozenset] = None
+    peer_header_space: Optional[frozenset] = None
 
 
 def _is_framework_class(cls: type) -> bool:
@@ -101,23 +106,30 @@ def class_sources(logic: ProtocolLogic) -> List[ClassSource]:
 
 
 def build_source_audits(protocol: DataLinkProtocol) -> List[SourceAudit]:
-    audits: List[SourceAudit] = []
-    for station, logic in (
+    stations = (
         ("transmitter", protocol.transmitter_factory()),
         ("receiver", protocol.receiver_factory()),
-    ):
+    )
+    spaces = []
+    for _, logic in stations:
         try:
-            bounded = logic.header_space() is not None
+            spaces.append(logic.header_space())
         except Exception:
-            bounded = False
+            spaces.append(None)
+    audits: List[SourceAudit] = []
+    for (station, logic), space, peer_space in zip(
+        stations, spaces, reversed(spaces)
+    ):
         audits.append(
             SourceAudit(
                 target=protocol.name,
                 station=station,
                 logic=logic,
                 classes=class_sources(logic),
-                bounded_headers=bounded,
+                bounded_headers=space is not None,
                 crash_resilient=protocol.crash_resilient,
+                own_header_space=space,
+                peer_header_space=peer_space,
             )
         )
     return audits
@@ -306,6 +318,20 @@ def check_crashing_claim(audit):
 # ----------------------------------------------------------------------
 
 
+def _interval_proven_sites(audit):
+    """Packet sites the interval analysis proved within the declared
+    header space (lazy import: :mod:`.intervals` builds on this module).
+
+    Failing open -- an analysis error leaves the heuristic fully armed.
+    """
+    try:
+        from .intervals import proven_packet_lines
+
+        return proven_packet_lines(audit)
+    except Exception:
+        return frozenset()
+
+
 def _header_expression(call: ast.Call) -> Optional[ast.AST]:
     if call.args:
         return call.args[0]
@@ -343,6 +369,7 @@ def _reduced_or_delegated(
 def check_unbounded_headers(audit):
     if not audit.bounded_headers:
         return
+    proven = _interval_proven_sites(audit)
     for source in audit.classes:
         parents = _parent_map(source.tree)
         for node in ast.walk(source.tree):
@@ -353,6 +380,12 @@ def check_unbounded_headers(audit):
                 continue
             header = _header_expression(node)
             if header is None:
+                continue
+            if (source.file, source.absolute_line(node)) in proven:
+                # The interval analysis (REP302 machinery) proved this
+                # site stays inside the declared space -- e.g. bounded
+                # modular arithmetic like ``seq % 2 + 1`` -- so the
+                # syntactic heuristic stands down.
                 continue
             for sub in ast.walk(header):
                 if isinstance(sub, ast.BinOp) and isinstance(

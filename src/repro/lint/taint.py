@@ -1,0 +1,111 @@
+"""Message-independence via interprocedural taint tracking (REP301).
+
+REP201 flags a textual read of ``Message.ident``/``Message.label``
+*inside a logic class*.  A protocol can evade it by laundering the
+read through a module-level helper::
+
+    def _priority(message):
+        return message.ident % 2        # invisible to REP201
+
+    class SneakyTransmitter(TransmitterLogic):
+        def on_send_msg(self, core, message):
+            if _priority(message):      # branches on payload contents
+                ...
+
+REP301 closes the gap with the dataflow engine: reads of the payload
+attributes produce values tainted with their source location, the
+taint propagates through assignments, returns, containers and
+intra-module helper calls, and any *decision site* observing a tainted
+value -- an ``if``/``while``/ternary/comprehension condition or a
+``Packet`` header -- breaks the §5.3.1 message-independence
+hypothesis.  (``Message.size`` is the sanctioned §9 content channel
+and stays untainted.)
+
+When REP201 already fired on a station the same defect would be
+reported twice, so REP301 stays silent there -- the two rules
+partition the evidence: direct reads go to REP201, laundered flows to
+REP301.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dataflow import Site, analyze_station, taint_of
+from .registry import RULES, rule
+from .source import SourceAudit
+
+
+def tainted_decision_sites(audit: SourceAudit) -> List[Site]:
+    """Decision sites observing message-payload taint, in file order."""
+    analysis = analyze_station(audit)
+    sites = [
+        site for site in analysis.branch_sites if site.msg_taints
+    ] + [
+        site
+        for site in analysis.header_sites
+        if any(t and t[0] == "msg" for t in taint_of(site.value))
+    ]
+    seen = set()
+    unique: List[Site] = []
+    for site in sorted(sites, key=lambda s: (s.file, s.line, s.kind)):
+        key = (site.file, site.line, site.kind)
+        if key not in seen:
+            seen.add(key)
+            unique.append(site)
+    return unique
+
+
+def _rep201_fired(audit: SourceAudit) -> bool:
+    checker = RULES["REP201"].checker
+    return any(True for _ in checker(audit))
+
+
+def message_independent(audit: SourceAudit) -> bool:
+    """True iff no payload taint reaches a decision site (and no
+    direct payload read exists)."""
+    if _rep201_fired(audit):
+        return False
+    try:
+        return not tainted_decision_sites(audit)
+    except Exception:
+        return False  # unverified counts as not proven independent
+
+
+@rule(
+    "REP301",
+    "message-dependence-flow",
+    "§5.3.1",
+    "message payloads must not flow into branch or header decisions",
+    family="deep",
+)
+def check_message_taint(deep):
+    """Flag laundered payload-to-decision flows."""
+    for audit in deep.audits:
+        if _rep201_fired(audit):
+            continue  # direct reads already reported by REP201
+        try:
+            sites = tainted_decision_sites(audit)
+        except Exception:
+            continue  # engine failure: REP302 surfaces analysis errors
+        for site in sites:
+            sources = ", ".join(
+                f"Message.{attr} read at line {line}"
+                for (_, _file, line, attr) in site.msg_taints
+            )
+            what = (
+                "a branch condition"
+                if site.kind == "branch"
+                else "a Packet header"
+            )
+            yield {
+                "message": (
+                    f"{audit.station} logic of {audit.target} lets "
+                    f"message payload contents flow into {what} "
+                    f"({sources}): message-independent protocols must "
+                    f"treat messages as opaque tokens even through "
+                    f"helper functions"
+                ),
+                "file": site.file,
+                "line": site.line,
+            }

@@ -162,4 +162,12 @@ def alternating_bit_protocol() -> DataLinkProtocol:
             "1-bit sliding window ARQ; correct over FIFO channels, "
             "crashing, message-independent, bounded headers"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "k_bounded": 1,
+            "weakly_correct_over": ("fifo",),
+            "tolerates_crashes": False,
+        },
     )

@@ -257,4 +257,11 @@ def baratz_segall_protocol(nonvolatile: bool = True) -> DataLinkProtocol:
             + ("non-volatile" if nonvolatile else "volatile")
             + " storage; in-doubt messages are discarded on session reset"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": False,
+            "crashing": not nonvolatile,
+            "weakly_correct_over": ("fifo", "nonfifo"),
+            "tolerates_crashes": nonvolatile,
+        },
     )

@@ -229,4 +229,12 @@ def fragmenting_protocol(
             "stop-and-wait fragment ARQ; message length determines the "
             "number of packets (Section 9 extension)"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "k_bounded": max_fragments,
+            "weakly_correct_over": ("fifo",),
+            "tolerates_crashes": False,
+        },
     )

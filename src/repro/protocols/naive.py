@@ -129,6 +129,13 @@ def direct_protocol() -> DataLinkProtocol:
         transmitter_factory=DirectTransmitter,
         receiver_factory=DirectReceiver,
         description="sends once, delivers everything; loses on lossy links",
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "weakly_correct_over": (),
+            "tolerates_crashes": False,
+        },
     )
 
 
@@ -206,6 +213,13 @@ def eager_protocol() -> DataLinkProtocol:
             "retransmits until acknowledged; receiver delivers every "
             "copy (duplicates under retransmission)"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "weakly_correct_over": (),
+            "tolerates_crashes": False,
+        },
     )
 
 

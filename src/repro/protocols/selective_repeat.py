@@ -244,4 +244,12 @@ def selective_repeat_protocol(
             "receiver-side buffering; correct over FIFO channels, "
             "crashing, bounded headers"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "k_bounded": window,
+            "weakly_correct_over": ("fifo",),
+            "tolerates_crashes": False,
+        },
     )

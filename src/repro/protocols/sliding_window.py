@@ -201,4 +201,12 @@ def sliding_window_protocol(
             "Go-Back-N ARQ with cumulative acknowledgements; correct "
             "over FIFO channels, crashing, bounded headers"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "k_bounded": window,
+            "weakly_correct_over": ("fifo",),
+            "tolerates_crashes": False,
+        },
     )

@@ -183,6 +183,13 @@ def stenning_protocol() -> DataLinkProtocol:
             "stop-and-wait ARQ with unbounded sequence numbers; "
             "tolerates arbitrary reordering, headers grow without bound"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": False,
+            "crashing": True,
+            "weakly_correct_over": ("fifo", "nonfifo"),
+            "tolerates_crashes": False,
+        },
     )
 
 
@@ -203,4 +210,12 @@ def modulo_stenning_protocol(modulus: int) -> DataLinkProtocol:
             "Stenning's protocol with sequence numbers reduced modulo N; "
             "bounded headers, so Theorem 8.5 applies"
         ),
+        claims={
+            "message_independent": True,
+            "bounded_headers": True,
+            "crashing": True,
+            "k_bounded": 1,
+            "weakly_correct_over": ("fifo",),
+            "tolerates_crashes": False,
+        },
     )

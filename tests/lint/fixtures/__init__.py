@@ -18,4 +18,8 @@ MUTANTS = {
     "rep201_message_introspection": "REP201",
     "rep202_stable_storage": "REP202",
     "rep203_unbounded_header": "REP203",
+    "rep301_payload_flow": "REP301",
+    "rep302_unproven_interval": "REP302",
+    "rep303_guarded_survivor": "REP303",
+    "rep304_false_claim": "REP304",
 }

@@ -45,12 +45,18 @@ class EscalatingTransmitter(TransmitterLogic):
     def enabled_sends(self, core: CountingCore) -> Iterable[Packet]:
         if core.awake and core.queue:
             yield Packet((DATA, core.seq + 1), (core.queue[0],))
+            # Bounded modular arithmetic: the interval analysis proves
+            # this header stays inside the declared space, so REP203's
+            # syntactic heuristic must stand down here -- only the
+            # unreduced ``seq + 1`` site above may fire.
+            yield Packet((DATA, core.seq % 2 + 1), (core.queue[0],))
 
     def after_send(self, core: CountingCore, packet: Packet) -> CountingCore:
         return replace(core, queue=core.queue[1:], seq=core.seq + 1)
 
     def header_space(self) -> FrozenSet:
-        return frozenset({(DATA, 1)})  # a lie: seq grows without bound
+        # Covers the modular site; still a lie for the growing one.
+        return frozenset({(DATA, 1), (DATA, 2)})
 
 
 class TupleHeaderReceiver(SilentReceiver):

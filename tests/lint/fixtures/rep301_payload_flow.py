@@ -1,0 +1,46 @@
+"""REP301 mutant: message payload flowing covertly into a branch.
+
+The transmitter never touches ``message.ident`` inside its own class
+body -- the read hides in a module-level helper -- so the syntactic
+REP201 scan (which only sees the class source) stays silent.  Only the
+interprocedural taint analysis follows the payload through the helper
+call and into the branch decision.
+"""
+
+from __future__ import annotations
+
+from repro.alphabets import Message
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, QueueCore, SilentReceiver
+
+EXPECTED_CODE = "REP301"
+
+
+def _priority(message: Message) -> int:
+    """The covert payload read: lives outside any audited class."""
+    return message.ident % 4
+
+
+class CovertPriorityTransmitter(FireAndForgetTransmitter):
+    """Silently drops messages whose laundered priority is zero.
+
+    Branching on a value derived from ``message.ident`` breaks
+    message-independence (Section 5.3.1) exactly as a direct read
+    would: behaviour no longer commutes with renaming the alphabet.
+    """
+
+    def on_send_msg(self, core: QueueCore, message: Message) -> QueueCore:
+        if _priority(message) == 0:
+            return core
+        return super().on_send_msg(core, message)
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-payload-flow",
+    transmitter_factory=CovertPriorityTransmitter,
+    receiver_factory=SilentReceiver,
+    description="payload dependence laundered through a module helper",
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -1,0 +1,68 @@
+"""REP302 mutant: a monotone counter header behind a finite claim.
+
+The header expression itself contains no arithmetic -- the counter is
+incremented over in ``after_send`` -- so the syntactic REP203 scan of
+the ``Packet(...)`` call stays silent.  Only the interval analysis,
+running the core fields to a widened fixpoint, sees ``seq`` grow to
+``[0, +inf]`` and refutes the declared finite ``header_space()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.alphabets import Message, Packet
+from repro.datalink.protocol import DataLinkProtocol, TransmitterLogic
+
+from ._base import DATA
+from .rep203_unbounded_header import TupleHeaderReceiver
+
+EXPECTED_CODE = "REP302"
+
+
+@dataclass(frozen=True)
+class DriftingCore:
+    queue: Tuple[Message, ...] = ()
+    seq: int = 0
+    awake: bool = False
+
+
+class DriftingTransmitter(TransmitterLogic):
+    """Stamps packets with a counter that only ever moves upward."""
+
+    def initial_core(self) -> DriftingCore:
+        return DriftingCore()
+
+    def on_wake(self, core: DriftingCore) -> DriftingCore:
+        return replace(core, awake=True)
+
+    def on_fail(self, core: DriftingCore) -> DriftingCore:
+        return replace(core, awake=False)
+
+    def on_send_msg(self, core: DriftingCore, message: Message) -> DriftingCore:
+        return replace(core, queue=core.queue + (message,))
+
+    def on_packet(self, core: DriftingCore, packet: Packet) -> DriftingCore:
+        return core
+
+    def enabled_sends(self, core: DriftingCore) -> Iterable[Packet]:
+        if core.awake and core.queue:
+            # No arithmetic here: the growth happens in after_send.
+            yield Packet((DATA, core.seq), (core.queue[0],))
+
+    def after_send(self, core: DriftingCore, packet: Packet) -> DriftingCore:
+        return replace(core, queue=core.queue[1:], seq=core.seq + 1)
+
+    def header_space(self) -> FrozenSet:
+        return frozenset({(DATA, 0)})  # a lie: seq drifts without bound
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-unproven-interval",
+    transmitter_factory=DriftingTransmitter,
+    receiver_factory=TupleHeaderReceiver,
+    description="counter header refuting a finite header_space claim",
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -1,0 +1,42 @@
+"""REP303 mutant: stable storage hiding behind the mode-flag idiom.
+
+REP202 deliberately exempts ``on_crash`` returns guarded by an ``if
+self.<flag>:`` test -- that is the legitimate construction-time
+mode-switch idiom (one logic class serving volatile and non-volatile
+variants).  This mutant abuses the exemption: the flag is hardwired
+``True``, so the guarded branch *always* runs and the queue survives
+every crash.  Only the escape analysis, resolving ``self.durable``
+against the live instance, proves the survival and flags it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, QueueCore, SilentReceiver
+
+EXPECTED_CODE = "REP303"
+
+
+class SquirrelingTransmitter(FireAndForgetTransmitter):
+    """Keeps its queue across crashes while claiming to be crashing."""
+
+    def __init__(self, durable: bool = True):
+        self.durable = durable
+
+    def on_crash(self, core: QueueCore) -> QueueCore:
+        if self.durable:
+            return replace(core, awake=False)
+        return self.initial_core()
+
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-guarded-survivor",
+    transmitter_factory=SquirrelingTransmitter,
+    receiver_factory=SilentReceiver,
+    description="queue surviving on_crash behind a hardwired mode flag",
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -1,0 +1,33 @@
+"""REP304 mutant: a claim combination Theorem 7.5 forbids outright.
+
+The protocol itself is lint-clean -- the defect is the *declaration*:
+it claims to be crashing, message-independent, and crash-tolerant all
+at once.  Theorem 7.5 proves no such protocol exists (no crashing,
+message-independent protocol is weakly correct under crashes, even
+over perfect FIFO channels), so the contradiction gate must reject
+the claims without needing any code defect to point at.
+"""
+
+from __future__ import annotations
+
+from repro.datalink.protocol import DataLinkProtocol
+
+from ._base import FireAndForgetTransmitter, SilentReceiver
+
+EXPECTED_CODE = "REP304"
+
+PROTOCOL = DataLinkProtocol(
+    name="mutant-false-claim",
+    transmitter_factory=FireAndForgetTransmitter,
+    receiver_factory=SilentReceiver,
+    description="claims crashing + message-independent + crash-tolerant",
+    claims={
+        "message_independent": True,
+        "bounded_headers": True,
+        "crashing": True,
+        "weakly_correct_over": ("fifo",),
+        "tolerates_crashes": True,
+    },
+)
+
+LINT_TARGETS = [PROTOCOL]

@@ -79,8 +79,137 @@ def test_lint_list_codes(capsys):
         assert expected in out
 
 
-def test_lint_module_without_targets_rejected(tmp_path):
-    import pytest
+def test_lint_module_without_targets_rejected(capsys):
+    # A clean error envelope (exit 2), never a SystemExit traceback.
+    code = main(["lint", "--module", "json", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["status"] == "error"
+    assert "LINT_TARGETS" in payload["details"]["error"]
 
-    with pytest.raises(SystemExit):
-        main(["lint", "--module", "json"])
+
+def test_lint_from_module_alias(capsys):
+    code = main(
+        [
+            "lint",
+            "--from-module",
+            "tests.lint.fixtures.rep103_not_input_enabled",
+        ]
+    )
+    assert code == 1
+    assert "REP103" in capsys.readouterr().out
+
+
+def test_lint_unimportable_module_rejected(capsys):
+    code = main(["lint", "--from-module", "no.such.module", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["status"] == "error"
+    assert "no.such.module" in payload["details"]["error"]
+
+
+def test_lint_unknown_select_code_rejected(capsys):
+    code = main(["lint", "abp", "--select", "REP999", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["status"] == "error"
+    assert "REP999" in payload["details"]["error"]
+    assert payload["details"]["flag"] == "--select"
+
+
+def test_lint_unknown_ignore_code_rejected(capsys):
+    # Comma-separated values are split before validation.
+    code = main(["lint", "abp", "--ignore", "REP1,BOGUS", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["details"]["unknown"] == ["BOGUS"]
+
+
+def test_lint_unwritable_output_rejected(capsys, tmp_path):
+    target = tmp_path / "no-such-dir" / "report.json"
+    code = main(["lint", "abp", "--output", str(target), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["status"] == "error"
+    assert "cannot write" in payload["details"]["error"]
+
+
+def test_lint_ignore_suppresses_findings(capsys):
+    code = main(
+        [
+            "lint",
+            "--module",
+            "tests.lint.fixtures.rep106_nondeterministic",
+            "--ignore",
+            "REP106",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all clean" in out
+
+
+def test_lint_baseline_suppresses_known_findings(capsys, tmp_path):
+    # First run records the findings; the second, given that report as
+    # a baseline, comes back clean.
+    baseline = tmp_path / "baseline.json"
+    code = main(
+        [
+            "lint",
+            "--module",
+            "tests.lint.fixtures.rep203_unbounded_header",
+            "--format",
+            "json",
+            "--output",
+            str(baseline),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 1
+    code = main(
+        [
+            "lint",
+            "--module",
+            "tests.lint.fixtures.rep203_unbounded_header",
+            "--baseline",
+            str(baseline),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all clean" in out
+
+
+def test_lint_malformed_baseline_rejected(capsys, tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    code = main(["lint", "abp", "--baseline", str(bad), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert "baseline" in payload["details"]["error"]
+
+
+def test_lint_deep_source_renders_verdicts(capsys):
+    code = main(["lint", "abp", "--deep-source", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    (verdict,) = payload["verdicts"]
+    assert verdict["target"] == "abp"
+    assert verdict["inferred"]["message_independent"] is True
+    assert verdict["claims"]["tolerates_crashes"] is False
+
+
+def test_lint_unreadable_evidence_rejected(capsys, tmp_path):
+    code = main(
+        [
+            "lint",
+            "abp",
+            "--deep-source",
+            "--evidence",
+            str(tmp_path / "missing.jsonl"),
+            "--json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert "evidence" in payload["details"]["error"]

@@ -20,7 +20,9 @@ def lint_module(module_name: str):
         target_from(obj, environment=environment)
         for obj in module.LINT_TARGETS
     ]
-    return module, lint_targets(targets)
+    # Deep analysis is always on here: the REP3xx mutants need it, and
+    # the REP1xx/REP2xx mutants must stay single-code even under it.
+    return module, lint_targets(targets, deep=True)
 
 
 @pytest.mark.parametrize("module_name", sorted(MUTANTS))

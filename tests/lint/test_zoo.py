@@ -90,8 +90,12 @@ def test_registry_is_complete():
         "REP201",
         "REP202",
         "REP203",
+        "REP301",
+        "REP302",
+        "REP303",
+        "REP304",
     ]
     for rule in RULES.values():
         assert rule.paper.startswith("§")
         assert rule.severity in ("error", "warning", "info")
-        assert rule.family in ("build", "semantic", "source")
+        assert rule.family in ("build", "semantic", "source", "deep")
