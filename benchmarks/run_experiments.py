@@ -17,8 +17,11 @@ tracing and writes its JSONL event stream (plus run manifest) to
 artifact.  ``--bench-fuzz[=PATH]`` benchmarks fuzz-campaign throughput
 through the worker pool against serial campaigns (runs/sec per case,
 with a built-in serial-vs-pooled determinism cross-check) and writes
-``bench/BENCH_fuzz.json`` (or PATH).  With no experiment names given
-alongside any flag, only the benchmarks run.
+``bench/BENCH_fuzz.json`` (or PATH).  ``--bench-load[=PATH]``
+benchmarks multi-session load generation the same way (sessions/sec
+per case, serial vs. pooled, with the normalized-report identity
+cross-check) and writes ``bench/BENCH_load.json`` (or PATH).  With no
+experiment names given alongside any flag, only the benchmarks run.
 """
 
 from __future__ import annotations
@@ -36,6 +39,10 @@ from repro.ioa.engine.bench import (
     write_bench_json,
     write_bench_trace,
 )
+from repro.sim.bench import (
+    DEFAULT_LOAD_PATH,
+    write_load_bench_json,
+)
 
 
 def main() -> None:
@@ -43,6 +50,7 @@ def main() -> None:
     bench_path = None
     trace_path = None
     fuzz_path = None
+    load_path = None
     for arg in list(argv):
         if arg == "--bench-explore":
             bench_path = DEFAULT_PATH
@@ -62,10 +70,17 @@ def main() -> None:
         elif arg.startswith("--bench-fuzz="):
             fuzz_path = arg.split("=", 1)[1] or DEFAULT_FUZZ_PATH
             argv.remove(arg)
+        elif arg == "--bench-load":
+            load_path = DEFAULT_LOAD_PATH
+            argv.remove(arg)
+        elif arg.startswith("--bench-load="):
+            load_path = arg.split("=", 1)[1] or DEFAULT_LOAD_PATH
+            argv.remove(arg)
     if (
         bench_path is None
         and trace_path is None
         and fuzz_path is None
+        and load_path is None
     ) or argv:
         only = argv or None
         print(to_text(run_all(only=only)))
@@ -102,6 +117,23 @@ def main() -> None:
                 f"serial {row['serial_runs_per_sec']:7.1f}/s  "
                 f"pool[{row['pool_mode']}] "
                 f"{row['pool_runs_per_sec']:7.1f}/s  "
+                f"speedup {row['speedup']:.2f}x"
+            )
+        print(f"  median speedup: {report['median_speedup']:.2f}x")
+    if load_path is not None:
+        report = write_load_bench_json(load_path)
+        print(
+            f"wrote {load_path} (workers={report['workers']}, "
+            f"effective_cpus={report['effective_cpus']}"
+            + (", OVERSUBSCRIBED" if report["oversubscribed"] else "")
+            + ")"
+        )
+        for key, row in report["cases"].items():
+            print(
+                f"  {key:24s} {row['sessions']:4d} sessions  "
+                f"serial {row['serial_sessions_per_sec']:7.1f}/s  "
+                f"pool[{row['pool_mode']}] "
+                f"{row['pool_sessions_per_sec']:7.1f}/s  "
                 f"speedup {row['speedup']:.2f}x"
             )
         print(f"  median speedup: {report['median_speedup']:.2f}x")

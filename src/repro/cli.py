@@ -30,6 +30,11 @@ Commands
     mix, checked against the executable DL/PL oracles; violations are
     shrunk and written as replayable repro files (``--replay FILE``
     re-executes one).
+``load --sessions N --steps S``
+    Multi-session load generation: N concurrent protocol sessions
+    (each its own seeded script + fault schedule) sharded across the
+    warm-worker pool and merged deterministically, reporting aggregate
+    throughput plus p50/p95/p99 latency and delivery-ratio percentiles.
 ``trace FILE``
     Summarize a JSONL trace written by ``--trace`` (manifest, counter
     totals, span timings).
@@ -43,8 +48,9 @@ prints one :class:`~repro.obs.RunReport` envelope -- ``{"command",
 "status", "counters", "duration_s", "details"}`` -- whatever the
 command (the command-specific payload lives under ``details``).  Exit
 codes map from ``status``: ``ok`` is 0, ``violation``/``findings`` are
-1, ``error`` is 2.  ``simulate``, ``verify``, ``refute-crash`` and
-``refute-headers`` additionally accept ``--trace OUT.jsonl``, which
+1, ``error`` is 2.  ``simulate``, ``verify``, ``refute-crash``,
+``refute-headers``, ``fuzz`` and ``load`` additionally accept
+``--trace OUT.jsonl``, which
 records the run's structured event stream (spans, counters, gauges)
 closed by a run manifest; inspect it with ``repro trace OUT.jsonl``.
 """
@@ -185,6 +191,24 @@ def _merge_trace(
         report.counters = merged
         report.artifacts["trace"] = args.trace
     return report
+
+
+def _warn_serial_fallback(
+    args: argparse.Namespace, pool: Dict[str, object]
+) -> None:
+    """Warn when parallelism was requested but not delivered.
+
+    The results are identical either way (the deterministic-merge
+    contract), but the user asked for speed they are not getting, so
+    say so once on stderr (and in ``details.pool.mode``).
+    """
+    if args.workers > 1 and pool.get("mode") != "fork":
+        reason = pool.get("fallback_reason", "pool unavailable")
+        print(
+            f"warning: --workers {args.workers} ran serially "
+            f"({reason}); output is unaffected",
+            file=sys.stderr,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -772,16 +796,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         except KeyError as exc:
             raise SystemExit(str(exc.args[0]))
 
-    if args.workers > 1 and campaign.pool.get("mode") != "fork":
-        # Parallelism was requested but not delivered; the results are
-        # identical either way, but the user asked for speed they are
-        # not getting, so say so once (and in details.pool.mode).
-        reason = campaign.pool.get("fallback_reason", "pool unavailable")
-        print(
-            f"warning: --workers {args.workers} ran serially "
-            f"({reason}); output is unaffected",
-            file=sys.stderr,
-        )
+    _warn_serial_fallback(args, campaign.pool)
 
     out_dir = Path(args.out)
     repro_paths = []
@@ -864,6 +879,72 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return _emit(args, report, lines)
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    from .sim.load import LoadConfig, run_load, with_load_mix
+
+    started = time.perf_counter()
+    try:
+        config = with_load_mix(
+            LoadConfig(sessions=args.sessions, messages=args.steps),
+            args.mix,
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    config_dict = dataclasses.asdict(config)
+
+    with _maybe_traced(
+        args, "load", args.protocol, args.seed, config_dict
+    ) as tracer:
+        try:
+            result = run_load(
+                args.protocol,
+                args.channel,
+                args.seed,
+                config,
+                workers=args.workers,
+                run_timeout=args.run_timeout,
+                batch_size=args.batch_size,
+            )
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+
+    _warn_serial_fallback(args, result.pool)
+
+    report = result.report()
+    report.duration_s = time.perf_counter() - started
+    counters = report.counters
+    latency = report.details["latency"]
+    ratio = report.details["delivery_ratio"]
+    throughput = report.details["throughput"]
+    pool = report.details["pool"]
+    lines = [
+        f"load: {counters['load.sessions']} sessions x "
+        f"{config.messages} messages, {args.protocol} over "
+        f"{args.channel} (seed {args.seed}, mix {args.mix})",
+        f"  delivered {counters['load.messages_delivered']}/"
+        f"{counters['load.messages_sent']} messages "
+        f"({counters['load.duplicate_deliveries']} duplicates) in "
+        f"{counters['load.steps']} steps",
+        f"  latency (steps): p50 {latency['p50']}, "
+        f"p95 {latency['p95']}, p99 {latency['p99']}, "
+        f"max {latency['max']}",
+        f"  delivery ratio: p50 {ratio['p50']}, p95 {ratio['p95']}, "
+        f"p99 {ratio['p99']}, min {ratio['min']}",
+        f"  throughput: {throughput['sessions_per_sec']} sessions/s, "
+        f"{throughput['steps_per_sec']} steps/s "
+        f"({pool['mode']}, {pool['workers']} worker(s), "
+        f"{pool['batches']} shard(s))",
+    ]
+    if result.failed_sessions:
+        lines.append(
+            f"  {result.failed_sessions} session(s) failed "
+            f"({result.timeouts} timed out; contained, see "
+            f"load.failed_sessions)"
+        )
+    report = _merge_trace(report, args, tracer)
+    return _emit(args, report, lines)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     try:
@@ -940,21 +1021,63 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
-def _add_json_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+# Shared flag definitions, declared once as argparse *parent parsers*
+# so every subcommand that opts in exposes identical names, defaults
+# and help text (the json/trace/pool wiring used to be copy-pasted per
+# subparser and drifted).
+
+
+def _json_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--json",
         action="store_true",
         help="print the unified RunReport envelope instead of text",
     )
+    return parent
 
 
-def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _trace_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--trace",
         metavar="OUT.jsonl",
         help="record the structured event stream (plus a run manifest) "
         "to this JSONL file",
     )
+    return parent
+
+
+def _pool_parent() -> argparse.ArgumentParser:
+    """The batched warm-worker pool knobs shared by ``fuzz`` and
+    ``load`` (both run on the same partitioned execution engine)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard batched runs across N persistent forked workers "
+        "(deterministic merge: output is byte-identical to --workers 1)",
+    )
+    parent.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs per worker task (default: auto-sized from runs and "
+        "workers; batching amortizes fork/IPC overhead and never "
+        "changes the output)",
+    )
+    parent.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per run; a run that exceeds it is "
+        "recorded as failed instead of hanging the campaign",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -966,39 +1089,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    json_flags = _json_parent()
+    trace_flags = _trace_parent()
+    pool_flags = _pool_parent()
 
-    listing = sub.add_parser("list", help="list available protocols")
-    _add_json_flag(listing)
+    listing = sub.add_parser(
+        "list", help="list available protocols", parents=[json_flags]
+    )
     listing.set_defaults(run=cmd_list)
 
     check = sub.add_parser(
-        "check", help="run the theorem-hypothesis checkers"
+        "check",
+        help="run the theorem-hypothesis checkers",
+        parents=[json_flags],
     )
     check.add_argument("protocol")
-    _add_json_flag(check)
     check.set_defaults(run=cmd_check)
 
     crash = sub.add_parser(
-        "refute-crash", help="run the Theorem 7.5 construction"
+        "refute-crash",
+        help="run the Theorem 7.5 construction",
+        parents=[json_flags, trace_flags],
     )
     crash.add_argument("protocol")
     crash.add_argument("--message-size", type=int, default=0)
-    _add_json_flag(crash)
-    _add_trace_flag(crash)
     crash.set_defaults(run=cmd_refute_crash)
 
     headers = sub.add_parser(
-        "refute-headers", help="run the Theorem 8.5 construction"
+        "refute-headers",
+        help="run the Theorem 8.5 construction",
+        parents=[json_flags, trace_flags],
     )
     headers.add_argument("protocol")
     headers.add_argument("--k", type=int, default=None)
     headers.add_argument("--message-size", type=int, default=0)
-    _add_json_flag(headers)
-    _add_trace_flag(headers)
     headers.set_defaults(run=cmd_refute_headers)
 
     simulate = sub.add_parser(
-        "simulate", help="run a seeded scenario and audit the trace"
+        "simulate",
+        help="run a seeded scenario and audit the trace",
+        parents=[json_flags, trace_flags],
     )
     simulate.add_argument("protocol")
     simulate.add_argument("--messages", type=int, default=10)
@@ -1018,13 +1148,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the run as a message sequence chart",
     )
-    _add_json_flag(simulate)
-    _add_trace_flag(simulate)
     simulate.set_defaults(run=cmd_simulate)
 
     verify = sub.add_parser(
         "verify",
         help="exhaustive bounded model check of delivery correctness",
+        parents=[json_flags, trace_flags],
     )
     verify.add_argument("protocol")
     verify.add_argument("--messages", type=int, default=2)
@@ -1035,12 +1164,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="delivery displacement bound (1 = FIFO)",
     )
-    _add_json_flag(verify)
-    _add_trace_flag(verify)
     verify.set_defaults(run=cmd_verify)
 
     experiments = sub.add_parser(
-        "experiments", help="run the experiment suite and print tables"
+        "experiments",
+        help="run the experiment suite and print tables",
+        parents=[json_flags],
     )
     experiments.add_argument(
         "--only",
@@ -1052,11 +1181,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "markdown"], default="text"
     )
     experiments.add_argument("--output", help="write to a file")
-    _add_json_flag(experiments)
     experiments.set_defaults(run=cmd_experiments)
 
     growth = sub.add_parser(
-        "growth", help="measure distinct-header growth"
+        "growth",
+        help="measure distinct-header growth",
+        parents=[json_flags],
     )
     growth.add_argument("protocol")
     growth.add_argument(
@@ -1065,12 +1195,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[1, 2, 4, 8, 16, 32],
     )
-    _add_json_flag(growth)
     growth.set_defaults(run=cmd_growth)
 
     lint = sub.add_parser(
         "lint",
         help="static model audit with ruff-style diagnostics",
+        parents=[json_flags],
     )
     lint.add_argument(
         "protocols",
@@ -1137,12 +1267,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
-    _add_json_flag(lint)
     lint.set_defaults(run=cmd_lint)
 
     fuzz = sub.add_parser(
         "fuzz",
         help="seeded conformance fuzzing against the DL/PL oracles",
+        parents=[json_flags, trace_flags, pool_flags],
     )
     fuzz.add_argument(
         "--protocol",
@@ -1208,31 +1338,6 @@ def build_parser() -> argparse.ArgumentParser:
         "consumed by the repro lint --deep-source contradiction gate",
     )
     fuzz.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="shard batched runs across N persistent forked workers "
-        "(deterministic merge: output is byte-identical to --workers 1)",
-    )
-    fuzz.add_argument(
-        "--batch-size",
-        type=int,
-        default=None,
-        metavar="N",
-        help="runs per worker task (default: auto-sized from runs and "
-        "workers; batching amortizes fork/IPC overhead and never "
-        "changes the output)",
-    )
-    fuzz.add_argument(
-        "--run-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="wall-clock budget per run; a run that exceeds it is "
-        "recorded as failed instead of hanging the campaign",
-    )
-    fuzz.add_argument(
         "--replay",
         metavar="REPRO.json",
         help="re-execute a repro file instead of fuzzing",
@@ -1242,16 +1347,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the oracle catalog and exit",
     )
-    _add_json_flag(fuzz)
-    _add_trace_flag(fuzz)
     fuzz.set_defaults(run=cmd_fuzz)
+
+    load = sub.add_parser(
+        "load",
+        help="multi-session load generation over the session façade",
+        parents=[json_flags, trace_flags, pool_flags],
+    )
+    load.add_argument(
+        "--sessions",
+        type=int,
+        default=100,
+        metavar="N",
+        help="concurrent protocol sessions to run",
+    )
+    load.add_argument(
+        "--steps",
+        type=int,
+        default=4,
+        metavar="S",
+        help="fresh messages each session's script offers",
+    )
+    load.add_argument(
+        "--protocol",
+        default="alternating_bit",
+        help="fuzz-registry protocol name (e.g. alternating_bit, "
+        "stenning)",
+    )
+    load.add_argument(
+        "--channel",
+        default="fifo",
+        help="channel family: fifo (C-hat), nonfifo (C-bar), perfect",
+    )
+    load.add_argument(
+        "--fault-mix",
+        dest="mix",
+        default="default",
+        help="fault mix: default, clean, drop-flood, reorder-flood, "
+        "crash-storm",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    load.set_defaults(run=cmd_load)
 
     trace = sub.add_parser(
         "trace",
         help="summarize a JSONL trace written by --trace",
+        parents=[json_flags],
     )
     trace.add_argument("file")
-    _add_json_flag(trace)
     trace.set_defaults(run=cmd_trace)
 
     return parser

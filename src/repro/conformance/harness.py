@@ -20,7 +20,8 @@ from ..datalink.properties import dl1, dl2, dl3, dl_well_formed
 from ..ioa.actions import Action
 from ..sim.faults import FaultPlan, GeneratedScript, generate_script
 from ..sim.network import DataLinkSystem
-from ..sim.runner import ScenarioResult, run_scenario
+from ..sim.runner import ScenarioResult
+from ..sim.session import Session
 from .registry import resolve_fuzz_channel, resolve_fuzz_protocol
 
 
@@ -196,18 +197,18 @@ def execute_script(
 ) -> ScenarioResult:
     """Run a script under the run's interleaving sub-seed.
 
-    The interleave RNG is rebuilt fresh on every call, so executing the
-    same (system, actions, subseeds) triple is bit-identical -- the
-    contract the shrinker's re-validation and ``--replay`` rely on.
+    The interleave RNG is rebuilt fresh on every ``run()``, so
+    executing the same (system, actions, subseeds) triple is
+    bit-identical -- the contract the shrinker's re-validation and
+    ``--replay`` rely on.
     """
-    return run_scenario(
-        system,
-        actions,
+    return Session(
+        system=system,
+        script=tuple(actions),
         seed=subseeds.interleave,
         max_interleave=config.max_interleave,
         max_steps=config.max_steps,
-        rng=random.Random(subseeds.interleave),
-    )
+    ).run()
 
 
 def script_admissible(

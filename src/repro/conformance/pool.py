@@ -504,26 +504,46 @@ def _pool_batch(task: Tuple[int, Tuple[SubSeeds, ...]]) -> BatchOutcome:
     )
 
 
-def run_schedule(
-    protocol: str,
-    channel: str,
-    seed: int,
-    schedule: Sequence[SubSeeds],
-    config: FuzzConfig,
+def run_partitioned(
+    schedule: Sequence,
+    *,
+    serial_batch: Callable[[int, Sequence], Sequence],
+    pool_task: Callable,
+    initializer: Callable,
+    initargs: Tuple,
+    failed_outcome: Callable[[int, object, str], object],
     workers: int = 1,
-    run_timeout: Optional[float] = None,
-    capture: bool = False,
     batch_size: Optional[int] = None,
     parallel_threshold: int = PARALLEL_THRESHOLD,
-) -> Tuple[Iterator[RunOutcome], PoolInfo]:
-    """Execute the schedule; yields outcomes strictly in run-index order.
+) -> Tuple[Iterator, PoolInfo]:
+    """The generic batched warm-worker pool: shard ``schedule`` into
+    batches of consecutive items, execute each batch through a
+    persistent fork pool (or in-process), and yield per-item outcomes
+    strictly in schedule order.
 
-    Returns ``(outcome iterator, pool info)``; see :class:`PoolInfo`
-    for the mode vocabulary.  ``batch_size`` fixes how many consecutive
-    runs form one worker task (default: auto-sized from the schedule
-    length and worker count via :func:`auto_batch_size`).  The iterator
-    is lazy so the master merges each batch as it completes instead of
-    buffering the whole campaign.
+    This is the workload-agnostic core the fuzz campaign
+    (:func:`run_schedule`) and the multi-session load generator
+    (:mod:`repro.sim.load`) both run on.  A workload plugs in:
+
+    * ``serial_batch(start, items)`` -- execute one batch in-process
+      and return its outcomes (the serial / fallback path);
+    * ``pool_task`` -- a *module-level picklable* callable mapping one
+      ``(start, items)`` task to an object with an ``.outcomes``
+      sequence, reading its fixed context from worker globals;
+    * ``initializer``/``initargs`` -- the fork initializer that
+      installs those worker globals (and detaches the inherited
+      tracer);
+    * ``failed_outcome(index, item, message)`` -- the error outcome
+      recorded for an item whose worker died.
+
+    Batching, auto-sizing, the serial-fallback vocabulary
+    (:class:`PoolInfo`) and the broken-pool containment protocol
+    (rebuild, resubmit unfinished batches, retry the observing batch
+    on a dedicated one-worker executor so innocent batches are
+    absolved) are identical for every workload; see the module
+    docstring for why each exists.  The outcome iterator is lazy so
+    the master merges each batch as it completes instead of buffering
+    the whole schedule.
     """
     workers = max(1, int(workers))
     requested_parallel = workers > 1
@@ -557,21 +577,13 @@ def run_schedule(
             fallback_reason=reason if requested_parallel else None,
         )
 
-    if context is None:
-        def _serial() -> Iterator[RunOutcome]:
-            for start in starts:
-                result = run_batch(
-                    protocol,
-                    channel,
-                    seed,
-                    start,
-                    schedule[start : start + batch_size],
-                    config,
-                    capture=capture,
-                    run_timeout=run_timeout,
-                )
-                yield from result.outcomes
+    def _serial() -> Iterator:
+        for start in starts:
+            yield from serial_batch(
+                start, schedule[start : start + batch_size]
+            )
 
+    if context is None:
         return _serial(), _serial_info(fallback_reason)
 
     # concurrent.futures rather than multiprocessing.Pool: when a
@@ -583,39 +595,30 @@ def run_schedule(
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
-    def _make_executor() -> ProcessPoolExecutor:
+    def _make_executor(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=min(workers, n_batches),
+            max_workers=max_workers or min(workers, n_batches),
             mp_context=context,
-            initializer=_init_worker,
-            initargs=(protocol, channel, seed, config, capture, run_timeout),
+            initializer=initializer,
+            initargs=initargs,
         )
 
     try:
         executor = _make_executor()
     except OSError:  # pragma: no cover - fork denied
-        outcomes, _ = run_schedule(
-            protocol,
-            channel,
-            seed,
-            schedule,
-            config,
-            workers=1,
-            run_timeout=run_timeout,
-            capture=capture,
-            batch_size=batch_size,
+        return _serial(), _serial_info(
+            "process pool unavailable (fork denied)"
         )
-        return outcomes, _serial_info("process pool unavailable (fork denied)")
 
-    batches: List[Tuple[int, Tuple[SubSeeds, ...]]] = [
+    batches: List[Tuple[int, Tuple]] = [
         (start, tuple(schedule[start : start + batch_size]))
         for start in starts
     ]
 
-    def _pooled() -> Iterator[RunOutcome]:
+    def _pooled() -> Iterator:
         pool = executor
         futures = {
-            number: pool.submit(_pool_batch, batch)
+            number: pool.submit(pool_task, batch)
             for number, batch in enumerate(batches)
         }
         try:
@@ -642,45 +645,31 @@ def run_schedule(
                             future.done() and future.exception() is None
                         ):
                             futures[later] = pool.submit(
-                                _pool_batch, batches[later]
+                                pool_task, batches[later]
                             )
                     try:
-                        retry = ProcessPoolExecutor(
-                            max_workers=1,
-                            mp_context=context,
-                            initializer=_init_worker,
-                            initargs=(
-                                protocol,
-                                channel,
-                                seed,
-                                config,
-                                capture,
-                                run_timeout,
-                            ),
-                        )
+                        retry = _make_executor(max_workers=1)
                         try:
                             yield from (
-                                retry.submit(_pool_batch, batches[number])
+                                retry.submit(pool_task, batches[number])
                                 .result()
                                 .outcomes
                             )
                         finally:
                             retry.shutdown(wait=True, cancel_futures=True)
                     except (BrokenProcessPool, OSError):
-                        for offset, subseeds in enumerate(batch):
-                            yield RunOutcome(
-                                index=start + offset,
-                                subseeds=subseeds,
-                                error=(
-                                    "worker crashed: process pool broken"
-                                ),
+                        for offset, item in enumerate(batch):
+                            yield failed_outcome(
+                                start + offset,
+                                item,
+                                "worker crashed: process pool broken",
                             )
                 except Exception as exc:
-                    for offset, subseeds in enumerate(batch):
-                        yield RunOutcome(
-                            index=start + offset,
-                            subseeds=subseeds,
-                            error=f"worker crashed: "
+                    for offset, item in enumerate(batch):
+                        yield failed_outcome(
+                            start + offset,
+                            item,
+                            f"worker crashed: "
                             f"{type(exc).__name__}: {exc}",
                         )
         finally:
@@ -696,4 +685,58 @@ def run_schedule(
         workers=workers,
         batch_size=batch_size,
         batches=n_batches,
+    )
+
+
+def run_schedule(
+    protocol: str,
+    channel: str,
+    seed: int,
+    schedule: Sequence[SubSeeds],
+    config: FuzzConfig,
+    workers: int = 1,
+    run_timeout: Optional[float] = None,
+    capture: bool = False,
+    batch_size: Optional[int] = None,
+    parallel_threshold: int = PARALLEL_THRESHOLD,
+) -> Tuple[Iterator[RunOutcome], PoolInfo]:
+    """Execute a fuzz schedule; yields outcomes strictly in run-index
+    order.
+
+    The fuzz-specific adapter over :func:`run_partitioned`: batches
+    execute through :func:`run_batch` (in-process) or
+    :func:`_pool_batch` (in a warm worker initialized by
+    :func:`_init_worker`), and a run whose worker died is recorded as
+    a failed :class:`RunOutcome`.  Returns ``(outcome iterator, pool
+    info)``; see :class:`PoolInfo` for the mode vocabulary.
+    ``batch_size`` fixes how many consecutive runs form one worker
+    task (default: auto-sized from the schedule length and worker
+    count via :func:`auto_batch_size`).
+    """
+
+    def _serial_batch(start, items):
+        return run_batch(
+            protocol,
+            channel,
+            seed,
+            start,
+            items,
+            config,
+            capture=capture,
+            run_timeout=run_timeout,
+        ).outcomes
+
+    def _failed(index, subseeds, message):
+        return RunOutcome(index=index, subseeds=subseeds, error=message)
+
+    return run_partitioned(
+        schedule,
+        serial_batch=_serial_batch,
+        pool_task=_pool_batch,
+        initializer=_init_worker,
+        initargs=(protocol, channel, seed, config, capture, run_timeout),
+        failed_outcome=_failed,
+        workers=workers,
+        batch_size=batch_size,
+        parallel_threshold=parallel_threshold,
     )

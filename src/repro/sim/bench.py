@@ -1,0 +1,148 @@
+"""Sessions/sec benchmark emitter for the multi-session load generator.
+
+Times default load campaigns serially and through the worker pool and
+writes the results to ``bench/BENCH_load.json`` so load-generation
+throughput is tracked from PR to PR.  Run via::
+
+    python benchmarks/run_experiments.py --bench-load
+
+or programmatically through :func:`write_load_bench_json`.
+
+Every case is cross-checked while it is timed: the serial and pooled
+runs' normalized reports (:func:`~repro.sim.load.normalized_report`)
+must agree field-for-field, so a benchmark run is also a determinism
+test of the session-index merge.  Like the fuzz benchmark, the report
+records the *effective* parallelism next to the speedup
+(``effective_cpus``, the scheduler-affinity CPU count) and annotates
+``"oversubscribed": true`` when ``workers`` exceeds it -- a 1-CPU
+container cannot beat serial, however many workers it forks, so a
+sub-1.0 speedup number stays readable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from statistics import median
+from typing import Dict, Iterable, Tuple
+
+DEFAULT_LOAD_PATH = os.path.join("bench", "BENCH_load.json")
+
+#: (case key, protocol, channel, mix, sessions, messages)
+DEFAULT_LOAD_CASES: Tuple[Tuple[str, str, str, str, int, int], ...] = (
+    ("abp-fifo", "alternating_bit", "fifo", "default", 300, 4),
+    ("abp-nonfifo-dropflood", "alternating_bit", "nonfifo", "drop-flood", 200, 4),
+    ("stenning-fifo-crashstorm", "stenning", "fifo", "crash-storm", 200, 3),
+)
+
+DEFAULT_WORKERS = 4
+
+
+def run_load_bench(
+    cases: Iterable[
+        Tuple[str, str, str, str, int, int]
+    ] = DEFAULT_LOAD_CASES,
+    repeats: int = 3,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 11,
+) -> Dict:
+    """Benchmark pooled vs. serial load runs on each case."""
+    from ..conformance.bench import effective_cpu_count
+    from .load import LoadConfig, normalized_report, run_load, with_load_mix
+
+    effective = effective_cpu_count()
+    oversubscribed = workers > effective
+    if oversubscribed:
+        print(
+            f"warning: --bench-load with workers={workers} on "
+            f"{effective} effective CPU(s): the pool is oversubscribed "
+            f"and cannot beat serial; speedups below reflect overhead, "
+            f"not scaling",
+            file=sys.stderr,
+        )
+    report: Dict = {
+        "generated_by": "repro.sim.bench",
+        "repeats": repeats,
+        "workers": workers,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "effective_cpus": effective,
+        "oversubscribed": oversubscribed,
+        "cases": {},
+    }
+    speedups = []
+    for key, protocol, channel, mix, sessions, messages in cases:
+        config = with_load_mix(
+            LoadConfig(sessions=sessions, messages=messages), mix
+        )
+
+        def _timed(run_workers: int):
+            timings = []
+            result = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = run_load(
+                    protocol, channel, seed, config, workers=run_workers
+                )
+                timings.append(time.perf_counter() - started)
+            return median(timings), result
+
+        serial_seconds, serial_result = _timed(1)
+        pool_seconds, pool_result = _timed(workers)
+        if normalized_report(
+            serial_result.report().to_dict()
+        ) != normalized_report(pool_result.report().to_dict()):
+            raise AssertionError(
+                f"{key}: pooled load run diverged from serial"
+            )
+        speedup = serial_seconds / pool_seconds
+        speedups.append(speedup)
+        serial_report = serial_result.report()
+        report["cases"][key] = {
+            "protocol": protocol,
+            "channel": channel,
+            "mix": mix,
+            "sessions": sessions,
+            "messages_per_session": messages,
+            "steps": serial_report.counters["load.steps"],
+            "messages_delivered": serial_report.counters[
+                "load.messages_delivered"
+            ],
+            "latency_p99_steps": serial_report.details["latency"]["p99"],
+            "serial_seconds": round(serial_seconds, 6),
+            "serial_sessions_per_sec": round(
+                sessions / serial_seconds, 1
+            ),
+            "pool_mode": pool_result.pool.get("mode"),
+            "batch_size": pool_result.pool.get("batch_size"),
+            "batches": pool_result.pool.get("batches"),
+            "pool_seconds": round(pool_seconds, 6),
+            "pool_sessions_per_sec": round(sessions / pool_seconds, 1),
+            "speedup": round(speedup, 2),
+        }
+    report["median_speedup"] = round(median(speedups), 2)
+    return report
+
+
+def write_load_bench_json(
+    path: str = DEFAULT_LOAD_PATH,
+    cases: Iterable[
+        Tuple[str, str, str, str, int, int]
+    ] = DEFAULT_LOAD_CASES,
+    repeats: int = 3,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 11,
+) -> Dict:
+    """Run the load benchmark and write the JSON report to ``path``."""
+    report = run_load_bench(
+        cases=cases, repeats=repeats, workers=workers, seed=seed
+    )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

@@ -7,8 +7,9 @@ as well as the external data-link actions).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..alphabets import Message, Packet
 from ..ioa.execution import ExecutionFragment
@@ -123,6 +124,34 @@ def channel_stats(
         distinct_headers=len(census),
         header_census=census,
     )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the smallest sample value that at
+    least ``q`` percent of the sample is less than or equal to.
+
+    Exact on small samples (no interpolation), which is what lets the
+    load generator's aggregate reports stay byte-identical across
+    worker counts: ``percentile([10, 20, 30, 40], 50) == 20`` --
+    ``ceil(0.50 * 4) = 2``, so the 2nd-smallest value -- and
+    ``percentile(values, 100)`` is always ``max(values)``.  An empty
+    sample reports 0.0 (a load run with no delivered messages has no
+    latency distribution, not an error).
+    """
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * q / 100.0))
+    return ordered[rank - 1]
+
+
+def percentile_summary(
+    values: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` via :func:`percentile`."""
+    return {f"p{q:g}": percentile(values, q) for q in qs}
 
 
 def distinct_headers_used(

@@ -1,25 +1,24 @@
-"""High-level simulation runner.
+"""High-level simulation runner (legacy surface over the Session façade).
 
-Drives a :class:`~repro.sim.network.DataLinkSystem` through an input
-script with realistic interleaving: after each input action the system
-runs a random (seeded) number of fair steps before the next input
-arrives, and after the last input it runs fairly to quiescence.  This
-explores fault timings that the simple "all inputs, then run" pattern
-cannot reach (e.g. crashes while packets are in flight).
+The scenario-driving loop -- script inputs interleaved with a random
+(seeded) number of fair steps, then a drain to quiescence -- lives in
+:class:`repro.sim.session.Session`.  This module keeps the historical
+entry points: :class:`ScenarioResult` (what a run returns),
+:func:`run_scenario` (a thin deprecation shim with its original
+signature, so existing callers keep working) and :func:`run_batch`.
+New code should construct a ``Session`` and call ``run()``.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 from ..ioa.actions import Action
 from ..ioa.execution import ExecutionFragment
-from ..ioa.fairness import FairnessTimeout, run_to_quiescence
-from ..channels.actions import CRASH, FAIL
-from ..obs import STATUS_OK, RunReport, current_tracer
-from .network import DataLinkSystem
+from ..obs import STATUS_OK, RunReport
 
 
 @dataclass
@@ -35,16 +34,46 @@ class ScenarioResult:
         return len(self.fragment)
 
     def report(
-        self, duration_s: float = 0.0, t: str = "t", r: str = "r"
+        self,
+        duration_s: float = 0.0,
+        *legacy_stations,
+        stations: Tuple[str, str] = ("t", "r"),
+        **legacy,
     ) -> RunReport:
         """This scenario as the unified :class:`~repro.obs.RunReport`.
+
+        ``stations`` names the (transmitter, receiver) pair the
+        delivery and channel statistics are computed over.  The
+        pre-redesign form -- separate ``t=``/``r=`` keywords, or the
+        station names passed positionally after ``duration_s`` -- is
+        still accepted but emits a :class:`DeprecationWarning`.
 
         The status is ``ok`` -- a scenario that ran to completion is a
         successful run whatever the protocol did; correctness verdicts
         come from the trace auditors, which the CLI folds in on top.
         """
+        if legacy_stations or legacy:
+            unknown = set(legacy) - {"t", "r"}
+            if unknown or len(legacy_stations) > 2:
+                raise TypeError(
+                    "report() accepts stations=(t, r); unexpected "
+                    f"arguments: {sorted(unknown) or legacy_stations}"
+                )
+            warnings.warn(
+                "ScenarioResult.report(duration_s, t=..., r=...) is "
+                "deprecated; pass stations=(t, r) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            t, r = stations
+            if legacy_stations:
+                t = legacy_stations[0]
+                if len(legacy_stations) > 1:
+                    r = legacy_stations[1]
+            stations = (legacy.get("t", t), legacy.get("r", r))
         from .metrics import channel_stats, delivery_stats
 
+        t, r = stations
         stats = delivery_stats(self.fragment, t, r)
         counters = {
             "sim.steps": self.steps,
@@ -78,7 +107,7 @@ def _dropped(stats) -> int:
 
 
 def run_scenario(
-    system: DataLinkSystem,
+    system,
     script: Iterable[Action],
     seed: int = 0,
     max_interleave: int = 8,
@@ -87,78 +116,21 @@ def run_scenario(
 ) -> ScenarioResult:
     """Run a script with seeded interleaving, then drain to quiescence.
 
-    ``max_interleave`` bounds how many fair (locally-controlled) steps
-    may run between consecutive inputs.  The final drain runs to
-    quiescence; if the step budget is exhausted the result is flagged
-    non-quiescent rather than raising.  Passing ``rng`` makes the
-    interleaving draw from a caller-owned :class:`random.Random`
-    instead of a fresh one derived from ``seed``.
+    Deprecation shim kept with its original signature: it now simply
+    wraps :class:`repro.sim.session.Session`, which is where the
+    semantics (and their documentation) live.  Prefer
+    ``Session(system, tuple(script), seed=seed).run()`` in new code.
     """
-    rng = rng if rng is not None else random.Random(seed)
-    fragment = ExecutionFragment.initial(system.initial_state())
-    budget = max_steps
-    tracer = current_tracer()
-    with tracer.span("sim.scenario", seed=seed):
-        for action in script:
-            with tracer.span("sim.step", action=str(action)):
-                if tracer.enabled:
-                    tracer.count("sim.inputs")
-                    if action.name == CRASH:
-                        tracer.count("sim.crash_injections")
-                    elif action.name == FAIL:
-                        tracer.count("sim.fail_injections")
-                state = system.automaton.step(fragment.final_state, action)
-                fragment = fragment.append(action, state)
-                slack = rng.randrange(max_interleave + 1)
-                if slack:
-                    try:
-                        burst = run_to_quiescence(
-                            system.automaton,
-                            fragment.final_state,
-                            max_steps=slack,
-                        )
-                    except FairnessTimeout as exc:
-                        burst = exc.fragment
-                    fragment = fragment.extend(burst)
-            budget = max_steps - len(fragment)
-            if budget <= 0:
-                return _finish(
-                    system, fragment, quiescent=False, tracer=tracer
-                )
-        quiescent = True
-        try:
-            drain = run_to_quiescence(
-                system.automaton, fragment.final_state, max_steps=budget
-            )
-        except FairnessTimeout as exc:
-            drain = exc.fragment
-            quiescent = False
-        fragment = fragment.extend(drain)
-        return _finish(system, fragment, quiescent, tracer)
+    from .session import Session
 
-
-def _finish(
-    system: DataLinkSystem,
-    fragment: ExecutionFragment,
-    quiescent: bool,
-    tracer,
-) -> ScenarioResult:
-    """Build the result; emit the packet-level counters when tracing."""
-    result = ScenarioResult(fragment, system.behavior(fragment), quiescent)
-    if tracer.enabled:
-        from .metrics import channel_stats, delivery_stats
-
-        stats = delivery_stats(fragment, system.t, system.r)
-        tracer.count("sim.steps", len(fragment))
-        tracer.count("sim.messages_delivered", stats.delivered)
-        tracer.count("sim.duplicate_deliveries", stats.duplicates)
-        dropped = _dropped(
-            channel_stats(fragment, system.t, system.r)
-        ) + _dropped(channel_stats(fragment, system.r, system.t))
-        tracer.count("sim.packets_dropped", dropped)
-        if not quiescent:
-            tracer.count("sim.nonquiescent_runs")
-    return result
+    return Session(
+        system=system,
+        script=tuple(script),
+        seed=seed,
+        max_interleave=max_interleave,
+        max_steps=max_steps,
+        rng=rng,
+    ).run()
 
 
 def run_batch(

@@ -295,3 +295,59 @@ class TestSection10Fuzzing:
         from repro.conformance import FuzzConfig
 
         assert FuzzConfig().crash_probability == 0.0
+
+
+class TestSection12Load:
+    """Mirrors tutorial section 12: the load-generation walkthrough."""
+
+    def result(self, workers=1):
+        from repro.sim.load import LoadConfig, run_load
+
+        return run_load(
+            "alternating_bit", "fifo", 0, LoadConfig(sessions=500),
+            workers=workers,
+        )
+
+    def test_worked_run_numbers(self):
+        report = self.result().report()
+        assert report.status == "ok"
+        assert report.counters["load.sessions"] == 500
+        assert report.counters["load.messages_delivered"] == 2000
+        assert report.counters["load.messages_sent"] == 2000
+        assert report.counters["load.duplicate_deliveries"] == 0
+        assert report.counters["load.steps"] == 23495
+        assert report.counters["load.packets_dropped"] == 1977
+        latency = report.details["latency"]
+        assert latency["count"] == 2000
+        assert (latency["p50"], latency["p95"], latency["p99"]) == (10, 32, 42)
+        assert latency["max"] == 56
+        ratio = report.details["delivery_ratio"]
+        assert (ratio["p50"], ratio["p99"], ratio["min"]) == (1.0, 1.0, 1.0)
+
+    def test_workers_identity_as_documented(self):
+        from repro.sim.load import normalized_report
+
+        serial = normalized_report(self.result(workers=1).report().to_dict())
+        pooled = normalized_report(self.result(workers=2).report().to_dict())
+        assert serial == pooled
+
+    def test_mix_vocabulary_shared_with_fuzz(self):
+        from repro.conformance.harness import FAULT_MIXES
+        from repro.sim.load import LoadConfig, with_load_mix
+
+        for mix in ("clean", "drop-flood", "reorder-flood", "crash-storm"):
+            assert mix in FAULT_MIXES
+            assert with_load_mix(LoadConfig(), mix).mix == mix
+
+    def test_traced_run_carries_gauges(self):
+        from repro.obs import MemorySink, tracing
+        from repro.sim.load import LoadConfig, run_load
+
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            run_load("alternating_bit", "fifo", 0, LoadConfig(sessions=5))
+            assert tracer.gauges["load.sessions_done"] == 5
+            assert tracer.gauges["load.sessions_active"] == 0
+        names = {event.name for event in sink.events}
+        assert "load.shard.sessions" in names
+        assert "load.session" in names
