@@ -15,6 +15,7 @@ from .actions import (
     send_pkt,
     wake,
 )
+from .bounded import BoundedChannel, BoundedChannelState
 from .delivery_set import (
     DeliverySet,
     DeliverySetError,
@@ -49,6 +50,8 @@ from .scripted import (
 )
 
 __all__ = [
+    "BoundedChannel",
+    "BoundedChannelState",
     "CRASH",
     "ChannelSurgeryError",
     "DeliverySet",

@@ -762,6 +762,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         "shrink_budget": args.shrink_budget,
         "deep_oracles": args.deep,
         "max_steps": args.max_steps,
+        "init_mode": args.init_mode,
+        "capacity": args.capacity,
     }
     config = dataclasses.replace(config, **overrides)
     config_dict = dataclasses.asdict(config)
@@ -866,6 +868,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     report = campaign.report()
     report.duration_s = time.perf_counter() - started
+    stabilization = report.details.get("stabilization")
+    if stabilization:
+        lines.append(
+            f"  stabilization_time p50={stabilization['p50']} "
+            f"p95={stabilization['p95']} p99={stabilization['p99']} "
+            f"max={stabilization['max']} "
+            f"({stabilization['converged_runs']}/"
+            f"{stabilization['measured_runs']} runs converged)"
+        )
     if args.corpus:
         report.details["corpus_replayed"] = len(replay_subseeds)
     if evidence_record is not None:
@@ -1281,7 +1292,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--channel",
         default="nonfifo",
-        help="channel family: fifo (C-hat), nonfifo (C-bar), perfect",
+        help="channel family: fifo (C-hat), nonfifo (C-bar), perfect, "
+        "bounded-nonfifo (bounded-capacity lossy non-FIFO)",
     )
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument(
@@ -1294,7 +1306,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--mix",
         default="default",
         help="fault mix: default, clean, drop-flood, reorder-flood, "
-        "crash-storm",
+        "crash-storm, link-flap, link-partition",
+    )
+    fuzz.add_argument(
+        "--init-mode",
+        choices=("clean", "arbitrary"),
+        default="clean",
+        help="arbitrary starts each run from a seeded corrupted state "
+        "and checks the stabilization oracles instead of DL/PL",
+    )
+    fuzz.add_argument(
+        "--capacity",
+        type=int,
+        default=4,
+        help="buffer capacity for the bounded-nonfifo channel",
     )
     fuzz.add_argument(
         "--max-steps",

@@ -8,6 +8,13 @@ violating input scripts to locally-minimal counterexamples, and emits
 replayable repro files.  ``repro fuzz`` is the CLI entry point.
 """
 
+from .arbitrary import (
+    StabilizationReport,
+    component_state_pools,
+    corrupt_initial_state,
+    explore_corrupted,
+    stabilization_report,
+)
 from .corpus import CorpusEntry, append_entries, load_corpus
 from .evidence import (
     EvidenceRecord,
@@ -45,11 +52,13 @@ from .pool import (
 from .oracles import (
     DL_ORACLES,
     PL_ORACLES,
+    STAB_ORACLES,
     Oracle,
     OracleViolation,
     check_execution,
     earliest_violating_prefix,
     oracle_catalog,
+    stabilization_bound,
 )
 from .registry import (
     FUZZ_CHANNELS,
@@ -88,7 +97,9 @@ __all__ = [
     "RunOutcome",
     "RunRecord",
     "RunTimeout",
+    "STAB_ORACLES",
     "ShrinkResult",
+    "StabilizationReport",
     "StateFingerprint",
     "SubSeeds",
     "ViolationReport",
@@ -98,12 +109,15 @@ __all__ = [
     "build_script",
     "build_system",
     "check_execution",
+    "component_state_pools",
+    "corrupt_initial_state",
     "decode_script",
     "earliest_violating_prefix",
     "encode_script",
     "execute_run",
     "evidence_from_campaign",
     "execute_script",
+    "explore_corrupted",
     "fuzz_campaign",
     "run_batch",
     "run_schedule",
@@ -118,5 +132,7 @@ __all__ = [
     "save_repro",
     "script_admissible",
     "shrink_script",
+    "stabilization_bound",
+    "stabilization_report",
     "with_mix",
 ]

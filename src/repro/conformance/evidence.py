@@ -31,6 +31,7 @@ CHANNEL_CLASS: Dict[str, str] = {
     "fifo": "fifo",
     "perfect": "fifo",
     "nonfifo": "nonfifo",
+    "bounded_nonfifo": "nonfifo",
 }
 
 
@@ -47,6 +48,7 @@ class EvidenceRecord:
     runs: int
     violations: int
     violated_oracles: Tuple[str, ...] = ()
+    init_mode: str = "clean"  # "clean" or "arbitrary" (self-stabilization)
 
     def to_dict(self) -> Dict:
         return {
@@ -59,6 +61,7 @@ class EvidenceRecord:
             "runs": self.runs,
             "violations": self.violations,
             "violated_oracles": list(self.violated_oracles),
+            "init_mode": self.init_mode,
         }
 
     @classmethod
@@ -73,6 +76,7 @@ class EvidenceRecord:
             runs=int(raw.get("runs", 0)),
             violations=int(raw.get("violations", 0)),
             violated_oracles=tuple(raw.get("violated_oracles", ())),
+            init_mode=str(raw.get("init_mode", "clean")),
         )
 
 
@@ -105,6 +109,7 @@ def evidence_from_campaign(campaign, mix: str = "default") -> EvidenceRecord:
         violations=len(campaign.violations)
         + sum(1 for o in oracles if o.startswith("deep:")),
         violated_oracles=tuple(oracles),
+        init_mode=getattr(campaign.config, "init_mode", "clean"),
     )
 
 

@@ -94,6 +94,10 @@ class RunRecord:
     new_states: int
     violations: List[OracleViolation] = field(default_factory=list)
     error: Optional[str] = None
+    # Arbitrary-init runs only (None in clean mode): the run's
+    # stabilization measurement, merged into the campaign percentiles.
+    stabilization_time: Optional[int] = None
+    stab_converged: Optional[bool] = None
 
 
 @dataclass
@@ -152,6 +156,28 @@ class FuzzCampaignResult:
             "violations": [v.to_dict() for v in self.violations],
             "corpus_entries": len(self.corpus),
         }
+        measured = [
+            run
+            for run in self.runs
+            if run.stabilization_time is not None
+        ]
+        if measured:
+            from ..sim.metrics import percentile_summary
+
+            times = [run.stabilization_time for run in measured]
+            summary = percentile_summary(times)
+            converged = sum(1 for run in measured if run.stab_converged)
+            counters["fuzz.stab.measured_runs"] = len(measured)
+            counters["fuzz.stab.converged_runs"] = converged
+            for key, value in summary.items():
+                counters[f"fuzz.stab.time_{key}"] = value
+            counters["fuzz.stab.time_max"] = max(times)
+            details["stabilization"] = {
+                **summary,
+                "max": max(times),
+                "measured_runs": len(measured),
+                "converged_runs": converged,
+            }
         if self.deep:
             details["deep"] = dict(self.deep)
         if self.pool:
@@ -286,6 +312,8 @@ def fuzz_campaign(
                         behavior_length=outcome.behavior_length,
                         new_states=new_states,
                         violations=outcome.found,
+                        stabilization_time=outcome.stabilization_time,
+                        stab_converged=outcome.stab_converged,
                     )
                 )
                 if outcome.violations:
@@ -391,10 +419,19 @@ def _package_violation(
     )
 
 
-def _checks_for(result, system) -> int:
+def _checks_for(result, system, config=None) -> int:
     """How many oracle applications ``check_execution`` performed."""
-    from .oracles import DL_ORACLES, PL_ORACLES, QUIESCENT
+    from .oracles import DL_ORACLES, PL_ORACLES, QUIESCENT, STAB_ORACLES
 
+    if (
+        config is not None
+        and getattr(config, "init_mode", "clean") == "arbitrary"
+    ):
+        return sum(
+            1
+            for oracle in STAB_ORACLES
+            if oracle.scope != QUIESCENT or result.quiescent
+        )
     count = 0
     for oracle in DL_ORACLES:
         if oracle.scope == QUIESCENT and not result.quiescent:

@@ -47,9 +47,13 @@ class FuzzConfig:
     fail_probability: float = 0.05
     receiver_fail_probability: float = 0.05
     crash_probability: float = 0.0
+    link_flap_probability: float = 0.0
+    link_partition_probability: float = 0.0
     shrink: bool = True
     shrink_budget: int = 400
     deep_oracles: bool = False
+    init_mode: str = "clean"
+    capacity: int = 4
 
 
 #: Named fault mixes, applied on top of the defaults via ``with_mix``.
@@ -66,6 +70,19 @@ FAULT_MIXES = {
         "crash_probability": 0.35,
         "fail_probability": 0.1,
         "receiver_fail_probability": 0.1,
+    },
+    # Dynamic-link mixes (Berard et al., arXiv:2002.07545): links go
+    # down and come back up mid-run, one direction at a time
+    # (link-flap) or both at once (link-partition).
+    "link-flap": {
+        "link_flap_probability": 0.3,
+        "fail_probability": 0.0,
+        "receiver_fail_probability": 0.0,
+    },
+    "link-partition": {
+        "link_partition_probability": 0.25,
+        "fail_probability": 0.0,
+        "receiver_fail_probability": 0.0,
     },
 }
 
@@ -158,6 +175,7 @@ def build_system(
         config.loss_rate,
         config.reorder_window,
         config.horizon,
+        capacity=config.capacity,
     )
     channel_rt = build_channel(
         "r",
@@ -166,6 +184,7 @@ def build_system(
         config.loss_rate,
         config.reorder_window,
         config.horizon,
+        capacity=config.capacity,
     )
     return DataLinkSystem.build(protocol, channel_tr, channel_rt)
 
@@ -179,6 +198,8 @@ def build_script(
         fail_probability=config.fail_probability,
         receiver_fail_probability=config.receiver_fail_probability,
         crash_probability=config.crash_probability,
+        link_flap_probability=config.link_flap_probability,
+        link_partition_probability=config.link_partition_probability,
         seed=subseeds.script,
     )
     return generate_script(
@@ -200,14 +221,24 @@ def execute_script(
     The interleave RNG is rebuilt fresh on every ``run()``, so
     executing the same (system, actions, subseeds) triple is
     bit-identical -- the contract the shrinker's re-validation and
-    ``--replay`` rely on.
+    ``--replay`` rely on.  Under ``init_mode="arbitrary"`` the run
+    starts from a sub-seed-determined corrupted state instead of the
+    composition's initial state; because the corruption is a pure
+    function of (system, subseeds, config), the shrinker and the
+    replayer reconstruct the identical corrupted start for free.
     """
+    initial_state = None
+    if config.init_mode == "arbitrary":
+        from .arbitrary import corrupt_initial_state
+
+        initial_state = corrupt_initial_state(system, subseeds, config)
     return Session(
         system=system,
         script=tuple(actions),
         seed=subseeds.interleave,
         max_interleave=config.max_interleave,
         max_steps=config.max_steps,
+        initial_state=initial_state,
     ).run()
 
 

@@ -36,9 +36,11 @@ from ..datalink import properties as dl
 from ..ioa.actions import Action
 from ..ioa.schedule_module import PropertyResult
 from ..obs import current_tracer
+from .arbitrary import stabilization_report
 
 PREFIX = "prefix"
 QUIESCENT = "quiescent"
+RUN = "run"
 
 CheckFn = Callable[[Sequence[Action], str, str], PropertyResult]
 
@@ -48,9 +50,9 @@ class Oracle:
     """One executable trace predicate plus its application metadata."""
 
     name: str
-    layer: str  # "dl" or "pl"
-    scope: str  # PREFIX or QUIESCENT
-    paper: str  # paper section the predicate formalizes
+    layer: str  # "dl", "pl" or "stab"
+    scope: str  # PREFIX, QUIESCENT or RUN
+    paper: str  # paper section (or arXiv id) the predicate formalizes
     check: CheckFn
     fifo_only: bool = False  # PL5: apply only to FIFO channel directions
 
@@ -84,6 +86,85 @@ PL_ORACLES: Tuple[Oracle, ...] = (
     Oracle(
         "PL6-finite", "pl", QUIESCENT, "§3 (PL6)", pl.pl6_finite_diagnostic
     ),
+)
+
+
+# ----------------------------------------------------------------------
+# Stabilization oracles (arbitrary-initial-state mode only)
+# ----------------------------------------------------------------------
+#
+# Under ``--init-mode arbitrary`` the run starts from a corrupted state,
+# so the DL/PL safety oracles would convict *every* protocol on the
+# corrupted prefix.  The stabilization family judges what
+# self-stabilization actually promises instead: the run recovers (a
+# violation-free suffix exists) and recovers fast enough.
+
+
+def stabilization_bound(length: int) -> int:
+    """The convergence budget SSTAB2 allows a behavior of this length.
+
+    Corruption symptoms concentrate at the front of a run (ghost
+    packets drain early, stale sequence numbers resynchronize within a
+    round trip), so a stabilizing protocol cleans up well before the
+    halfway mark; the constant floor keeps very short behaviors from
+    being judged on a one-or-two-event budget.
+    """
+    return max(8, length // 2)
+
+
+def sstab1(
+    schedule: Sequence[Action], t: str, r: str
+) -> PropertyResult:
+    """(SSTAB1) eventual safety: a violation-free suffix exists."""
+    report = stabilization_report(schedule, t, r)
+    if report.converged:
+        return PropertyResult.ok("SSTAB1")
+    return PropertyResult.violated(
+        "SSTAB1",
+        f"no violation-free suffix: the behavior ({report.length} "
+        "events) still violates the specification at its final event",
+    )
+
+
+def sstab2(
+    schedule: Sequence[Action], t: str, r: str
+) -> PropertyResult:
+    """(SSTAB2) bounded convergence: stabilization happens fast enough.
+
+    Only meaningful for behaviors that converge at all (SSTAB1's
+    concern otherwise): the dirty prefix must fit in
+    :func:`stabilization_bound`.
+    """
+    report = stabilization_report(schedule, t, r)
+    if not report.converged:
+        return PropertyResult.ok("SSTAB2")
+    bound = stabilization_bound(report.length)
+    if report.time <= bound:
+        return PropertyResult.ok("SSTAB2")
+    return PropertyResult.violated(
+        "SSTAB2",
+        f"stabilization_time {report.time} exceeds the convergence "
+        f"bound {bound} (behavior length {report.length})",
+    )
+
+
+def _sstab_wf(
+    schedule: Sequence[Action], t: str, r: str
+) -> PropertyResult:
+    """(SSTAB-wf) placeholder check; quiescence is judged run-level.
+
+    The predicate needs the run's quiescence flag, which a trace-only
+    ``CheckFn`` cannot see; :func:`check_execution` applies it
+    directly.  Registered so the catalog and the violation metadata
+    have one canonical description.
+    """
+    return PropertyResult.ok("SSTAB-wf")
+
+
+STAB_ORACLES: Tuple[Oracle, ...] = (
+    Oracle("SSTAB-wf", "stab", RUN, "arXiv:1011.3632 §2", _sstab_wf),
+    Oracle("SSTAB1", "stab", QUIESCENT, "arXiv:1011.3632 §2", sstab1),
+    Oracle("SSTAB2", "stab", QUIESCENT, "arXiv:1011.3632 §4", sstab2),
 )
 
 
@@ -161,7 +242,7 @@ def _apply(
     )
 
 
-def check_execution(system, result) -> List[OracleViolation]:
+def check_execution(system, result, config=None) -> List[OracleViolation]:
     """Check one scenario result against every applicable oracle.
 
     ``system`` is the :class:`~repro.sim.network.DataLinkSystem` that
@@ -169,7 +250,16 @@ def check_execution(system, result) -> List[OracleViolation]:
     Quiescent-scope oracles are skipped on non-quiescent runs; validity
     is skipped when the behavior contains fail/crash events (it would
     report the environment's faults, not the protocol's).
+
+    When ``config`` carries ``init_mode="arbitrary"``, the run started
+    corrupted and *only* the stabilization oracles apply: the DL/PL
+    safety family would blame the corrupted prefix on the protocol.
     """
+    if (
+        config is not None
+        and getattr(config, "init_mode", "clean") == "arbitrary"
+    ):
+        return _check_stabilization(system, result)
     tracer = current_tracer()
     violations: List[OracleViolation] = []
     behavior = result.behavior
@@ -203,10 +293,51 @@ def check_execution(system, result) -> List[OracleViolation]:
     return violations
 
 
+def _check_stabilization(system, result) -> List[OracleViolation]:
+    """The arbitrary-init oracle pass: SSTAB-wf, then SSTAB1/SSTAB2.
+
+    Emits the ``stab.time``/``stab.converged`` gauges alongside the
+    verdicts.  A non-quiescent run violates SSTAB-wf (it wedged instead
+    of recovering); the suffix-based oracles are quiescent-scoped, so
+    they are skipped exactly like DL1/DL7/DL8 on truncated runs.
+    """
+    tracer = current_tracer()
+    violations: List[OracleViolation] = []
+    behavior = result.behavior
+    report = stabilization_report(behavior, system.t, system.r)
+    if tracer.enabled:
+        tracer.gauge("stab.time", report.time)
+        tracer.gauge("stab.converged", 1 if report.converged else 0)
+    for oracle in STAB_ORACLES:
+        if oracle.scope == QUIESCENT and not result.quiescent:
+            continue
+        if tracer.enabled:
+            tracer.count("fuzz.oracle_checks")
+        if oracle.scope == RUN:
+            if not result.quiescent:
+                violations.append(
+                    OracleViolation(
+                        oracle=oracle.name,
+                        layer=oracle.layer,
+                        scope=oracle.scope,
+                        paper=oracle.paper,
+                        witness=(
+                            "the run did not quiesce from its corrupted "
+                            "start within the step budget"
+                        ),
+                    )
+                )
+            continue
+        _apply(oracle, behavior, system.t, system.r, None, violations)
+    if violations and tracer.enabled:
+        tracer.count("fuzz.oracle_violations", len(violations))
+    return violations
+
+
 def oracle_catalog() -> List[dict]:
     """Every registered oracle as a plain dict (for reports and docs)."""
     catalog = []
-    for oracle in DL_ORACLES + PL_ORACLES:
+    for oracle in DL_ORACLES + PL_ORACLES + STAB_ORACLES:
         catalog.append(
             {
                 "name": oracle.name,

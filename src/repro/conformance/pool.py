@@ -172,6 +172,8 @@ class RunOutcome:
     steps: int = 0
     quiescent: bool = False
     behavior_length: int = 0
+    stabilization_time: Optional[int] = None
+    stab_converged: Optional[bool] = None
     state_values: Tuple[StateFingerprint, ...] = ()
     found: List[OracleViolation] = field(default_factory=list)
     violations: List["ViolationReport"] = field(default_factory=list)  # noqa: F821
@@ -315,8 +317,18 @@ def execute_run(
                     system, script.actions, subseeds, config
                 )
             with _capturing(capture) as post_events:
-                found = check_execution(system, result)
-                oracle_checks = _checks_for(result, system)
+                found = check_execution(system, result, config)
+                oracle_checks = _checks_for(result, system, config)
+                stab_time = None
+                stab_converged = None
+                if config.init_mode == "arbitrary":
+                    from .arbitrary import stabilization_report
+
+                    stab = stabilization_report(
+                        result.behavior, system.t, system.r
+                    )
+                    stab_time = stab.time
+                    stab_converged = stab.converged
                 packaged = []
                 seen = set()
                 for violation in found:
@@ -357,6 +369,8 @@ def execute_run(
         steps=result.steps,
         quiescent=result.quiescent,
         behavior_length=len(result.behavior),
+        stabilization_time=stab_time,
+        stab_converged=stab_converged,
         state_values=_distinct_states(result.fragment.states),
         found=found,
         violations=packaged,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from ..channels.bounded import BoundedChannel
 from ..channels.delivery_set import random_lossy_fifo, random_reordering
 from ..channels.permissive import PermissiveChannel, PermissiveFifoChannel
 from ..datalink.protocol import DataLinkProtocol
@@ -64,7 +65,9 @@ def resolve_fuzz_protocol(name: str) -> DataLinkProtocol:
     return FUZZ_PROTOCOLS[key]()
 
 
-def _fifo_channel(src, dst, seed, loss_rate, reorder_window, horizon):
+def _fifo_channel(
+    src, dst, seed, loss_rate, reorder_window, horizon, capacity=4
+):
     """C-hat with a seeded monotone (lossy FIFO) delivery set."""
     return PermissiveFifoChannel(
         src,
@@ -74,7 +77,9 @@ def _fifo_channel(src, dst, seed, loss_rate, reorder_window, horizon):
     )
 
 
-def _nonfifo_channel(src, dst, seed, loss_rate, reorder_window, horizon):
+def _nonfifo_channel(
+    src, dst, seed, loss_rate, reorder_window, horizon, capacity=4
+):
     """C-bar with a seeded reordering + lossy delivery set."""
     return PermissiveChannel(
         src,
@@ -86,18 +91,38 @@ def _nonfifo_channel(src, dst, seed, loss_rate, reorder_window, horizon):
     )
 
 
-def _perfect_channel(src, dst, seed, loss_rate, reorder_window, horizon):
+def _perfect_channel(
+    src, dst, seed, loss_rate, reorder_window, horizon, capacity=4
+):
     """A loss-free FIFO control channel (the identity delivery set)."""
     return PermissiveFifoChannel(
         src, dst, name=f"fuzz-perfect[{src}->{dst}]"
     )
 
 
-#: name -> channel builder ``(src, dst, seed, loss, window, horizon)``.
+def _bounded_nonfifo_channel(
+    src, dst, seed, loss_rate, reorder_window, horizon, capacity=4
+):
+    """Bounded-capacity non-FIFO lossy channel (arXiv:1011.3632)."""
+    return BoundedChannel(
+        src,
+        dst,
+        seed=seed,
+        loss_rate=loss_rate,
+        reorder_window=reorder_window,
+        horizon=horizon,
+        capacity=capacity,
+        name=f"fuzz-bounded[{src}->{dst},seed={seed},cap={capacity}]",
+    )
+
+
+#: name -> channel builder ``(src, dst, seed, loss, window, horizon,
+#: capacity=4)``.
 FUZZ_CHANNELS: Dict[str, Callable] = {
     "fifo": _fifo_channel,
     "nonfifo": _nonfifo_channel,
     "perfect": _perfect_channel,
+    "bounded_nonfifo": _bounded_nonfifo_channel,
 }
 
 

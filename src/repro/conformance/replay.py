@@ -177,7 +177,7 @@ def replay(source: Union[str, Path, dict]) -> ReplayResult:
     )
     actions = decode_script(system, document["script"])
     result = execute_script(system, actions, subseeds, config)
-    violations = check_execution(system, result)
+    violations = check_execution(system, result, config)
     oracle = document["oracle"]
     return ReplayResult(
         reproduced=any(v.oracle == oracle for v in violations),

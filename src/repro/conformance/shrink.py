@@ -96,7 +96,8 @@ def shrink_script(
             tracer.count("fuzz.shrink_executions")
         result = execute_script(system, candidate, subseeds, config)
         verdict = any(
-            v.oracle == oracle_name for v in check_execution(system, result)
+            v.oracle == oracle_name
+            for v in check_execution(system, result, config)
         )
         verdicts[key] = verdict
         return verdict

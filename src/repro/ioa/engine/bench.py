@@ -25,13 +25,18 @@ from typing import Dict, Iterable, Optional, Tuple
 DEFAULT_PATH = os.path.join("bench", "BENCH_explore.json")
 TRACE_PATH = os.path.join("bench", "BENCH_explore_trace.jsonl")
 
-#: (protocol key, factory-name, messages, capacity, reorder_depth)
-DEFAULT_CASES: Tuple[Tuple[str, str, int, int, int], ...] = (
-    ("abp", "alternating_bit_protocol", 2, 2, 1),
-    ("sliding-window-2", "sliding_window_protocol:2", 2, 2, 1),
-    ("stenning", "stenning_protocol", 2, 2, 1),
-    ("fragmenting", "fragmenting_protocol:1,2", 2, 2, 1),
-    ("abp-reorder-2", "alternating_bit_protocol", 2, 3, 2),
+#: (protocol key, factory-name, messages, capacity, reorder_depth,
+#: expected_ok).  ``expected_ok=False`` marks a case whose invariant
+#: violation is the *point* of the case -- abp-reorder-2 exists because
+#: the alternating-bit protocol is provably broken under depth-2
+#: reordering (the Section 8 contrast), and the benchmark doubles as a
+#: regression test that the engine still finds that counterexample.
+DEFAULT_CASES: Tuple[Tuple[str, str, int, int, int, bool], ...] = (
+    ("abp", "alternating_bit_protocol", 2, 2, 1, True),
+    ("sliding-window-2", "sliding_window_protocol:2", 2, 2, 1, True),
+    ("stenning", "stenning_protocol", 2, 2, 1, True),
+    ("fragmenting", "fragmenting_protocol:1,2", 2, 2, 1, True),
+    ("abp-reorder-2", "alternating_bit_protocol", 2, 3, 2, False),
 )
 
 
@@ -68,7 +73,7 @@ def _time_explore(explore_fn, build_system, repeats: int):
 
 
 def run_bench(
-    cases: Iterable[Tuple[str, str, int, int, int]] = DEFAULT_CASES,
+    cases: Iterable[Tuple[str, str, int, int, int, bool]] = DEFAULT_CASES,
     repeats: int = 3,
     workers: Optional[int] = None,
 ) -> Dict:
@@ -88,7 +93,7 @@ def run_bench(
         "protocols": {},
     }
     speedups = []
-    for key, spec, messages, capacity, reorder_depth in cases:
+    for key, spec, messages, capacity, reorder_depth, expected_ok in cases:
 
         def build_system(spec=spec, memoize=True):
             # The reference baseline is timed in the seed configuration
@@ -137,15 +142,29 @@ def run_bench(
             raise AssertionError(
                 f"{key}: engine and reference disagree on truncation"
             )
+        if engine_result.ok != expected_ok:
+            raise AssertionError(
+                f"{key}: verdict ok={engine_result.ok} does not match "
+                f"expected_ok={expected_ok}"
+            )
         states = len(engine_result.states)
         speedup = reference_seconds / engine_seconds
         speedups.append(speedup)
+        note = (
+            None
+            if expected_ok
+            else "expected failure: this protocol provably violates the "
+            "invariant in this configuration (abp-reorder-2: the "
+            "alternating-bit protocol breaks under depth-2 reordering)"
+        )
         report["protocols"][key] = {
             "messages": messages,
             "capacity": capacity,
             "reorder_depth": reorder_depth,
             "states": states,
             "ok": engine_result.ok,
+            "expected_ok": expected_ok,
+            "note": note,
             "engine_seconds": round(engine_seconds, 6),
             "engine_states_per_sec": round(states / engine_seconds, 1),
             "reference_seconds": round(reference_seconds, 6),
@@ -160,7 +179,7 @@ def run_bench(
 
 def write_bench_trace(
     path: str = TRACE_PATH,
-    case: Tuple[str, str, int, int, int] = DEFAULT_CASES[0],
+    case: Tuple[str, str, int, int, int, bool] = DEFAULT_CASES[0],
     workers: Optional[int] = None,
 ) -> Dict:
     """Run one benchmark exploration under full tracing.
@@ -174,7 +193,7 @@ def write_bench_trace(
     from repro.ioa.explorer import explore
     from repro.obs import trace_run
 
-    key, spec, messages, capacity, reorder_depth = case
+    key, spec, messages, capacity, reorder_depth, _expected_ok = case
     composition, invariant, _ = build_closed_system(
         _protocol_factory(spec)(),
         messages=messages,
@@ -211,7 +230,7 @@ def write_bench_trace(
 
 def write_bench_json(
     path: str = DEFAULT_PATH,
-    cases: Iterable[Tuple[str, str, int, int, int]] = DEFAULT_CASES,
+    cases: Iterable[Tuple[str, str, int, int, int, bool]] = DEFAULT_CASES,
     repeats: int = 3,
     workers: Optional[int] = None,
 ) -> Dict:

@@ -123,6 +123,7 @@ def explore_engine(
     max_states: int = 50_000,
     max_depth: int = 10_000,
     validate: bool = False,
+    initial_state: Optional[State] = None,
 ) -> ExplorationResult:
     """Serial engine entry point (see module docstring).
 
@@ -130,13 +131,26 @@ def explore_engine(
     the generic trace-free BFS.  ``validate=True`` additionally checks,
     at every expanded state, that each environment-offered input action
     is enabled, raising :class:`InputEnablednessError` otherwise.
+    ``initial_state`` starts the search from the given (possibly
+    unreachable) state instead of the automaton's own initial state.
     """
     if isinstance(automaton, Composition):
         return _CompositionSearch(automaton).run(
-            environment, invariant, max_states, max_depth, validate
+            environment,
+            invariant,
+            max_states,
+            max_depth,
+            validate,
+            initial_state,
         )
     return _explore_generic(
-        automaton, environment, invariant, max_states, max_depth, validate
+        automaton,
+        environment,
+        invariant,
+        max_states,
+        max_depth,
+        validate,
+        initial_state,
     )
 
 
@@ -166,8 +180,13 @@ def _explore_generic(
     max_states: int,
     max_depth: int,
     validate: bool = False,
+    initial_state: Optional[State] = None,
 ) -> ExplorationResult:
-    start = automaton.initial_state()
+    start = (
+        initial_state
+        if initial_state is not None
+        else automaton.initial_state()
+    )
     signature = automaton.signature if validate else None
     if invariant is not None and not invariant(start):
         return ExplorationResult({start}, False, (start, ()))
@@ -393,9 +412,14 @@ class _CompositionSearch:
         max_states: int,
         max_depth: int,
         validate: bool = False,
+        initial_state: Optional[State] = None,
     ) -> ExplorationResult:
         signature = self.composition.signature if validate else None
-        start = self.composition.initial_state()
+        start = (
+            initial_state
+            if initial_state is not None
+            else self.composition.initial_state()
+        )
         if invariant is not None and not invariant(start):
             return ExplorationResult({start}, False, (start, ()))
         tracer = current_tracer()

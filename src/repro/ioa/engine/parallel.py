@@ -74,6 +74,7 @@ def explore_parallel(
     max_depth: int = 10_000,
     workers: int = 2,
     parallel_threshold: int = PARALLEL_THRESHOLD,
+    initial_state: Optional[State] = None,
 ) -> ExplorationResult:
     """Layer-sharded BFS; results identical to the serial engine."""
     import multiprocessing
@@ -82,7 +83,11 @@ def explore_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
         context = None
-    start = automaton.initial_state()
+    start = (
+        initial_state
+        if initial_state is not None
+        else automaton.initial_state()
+    )
     if invariant is not None and not invariant(start):
         return ExplorationResult({start}, False, (start, ()))
     parents: Dict[State, Optional[Tuple[State, Action]]] = {start: None}

@@ -57,8 +57,15 @@ def explore(
     workers: Optional[int] = None,
     validate: bool = False,
     engine: str = "auto",
+    initial_state: Optional[State] = None,
 ) -> ExplorationResult:
     """Breadth-first exploration of reachable states.
+
+    ``initial_state`` overrides the automaton's own initial state --
+    the self-stabilization workloads start the search from a corrupted
+    composed state instead of the clean one.  The override must be a
+    structurally valid state for the automaton; no reachability from
+    the clean start is assumed (that is the point).
 
     At each state, the successors are all enabled locally-controlled
     actions plus whatever input actions the ``environment`` callback
@@ -102,6 +109,7 @@ def explore(
             invariant=invariant,
             max_states=max_states,
             max_depth=max_depth,
+            initial_state=initial_state,
         )
         # The oracle body stays uninstrumented (it is the verbatim
         # baseline); the dispatcher reports its one headline figure.
@@ -121,6 +129,7 @@ def explore(
             max_states=max_states,
             max_depth=max_depth,
             validate=True,
+            initial_state=initial_state,
         )
     if workers is not None and workers > 1:
         from .engine.parallel import explore_parallel
@@ -132,6 +141,7 @@ def explore(
             max_states=max_states,
             max_depth=max_depth,
             workers=workers,
+            initial_state=initial_state,
         )
     return explore_engine(
         automaton,
@@ -139,6 +149,7 @@ def explore(
         invariant=invariant,
         max_states=max_states,
         max_depth=max_depth,
+        initial_state=initial_state,
     )
 
 
@@ -177,6 +188,7 @@ def _explore_reference(
     invariant: Optional[Callable[[State], bool]] = None,
     max_states: int = 50_000,
     max_depth: int = 10_000,
+    initial_state: Optional[State] = None,
 ) -> ExplorationResult:
     """The original naive BFS, kept as the differential-testing oracle.
 
@@ -187,7 +199,11 @@ def _explore_reference(
     """
     from collections import deque
 
-    start = automaton.initial_state()
+    start = (
+        initial_state
+        if initial_state is not None
+        else automaton.initial_state()
+    )
     if invariant is not None and not invariant(start):
         return ExplorationResult({start}, False, (start, ()))
 

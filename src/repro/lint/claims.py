@@ -31,6 +31,7 @@ modules never import the lint package::
         "k_bounded": 1,
         "weakly_correct_over": ("fifo",),
         "tolerates_crashes": False,
+        "self_stabilizing": False,
     }
 """
 
@@ -63,6 +64,7 @@ _CLAIM_KEYS = {
     "k_bounded",
     "weakly_correct_over",
     "tolerates_crashes",
+    "self_stabilizing",
 }
 
 
@@ -76,6 +78,7 @@ class ProtocolClaims:
     k_bounded: Optional[int] = None
     weakly_correct_over: Tuple[str, ...] = ()
     tolerates_crashes: bool = False
+    self_stabilizing: Optional[bool] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -85,6 +88,7 @@ class ProtocolClaims:
             "k_bounded": self.k_bounded,
             "weakly_correct_over": list(self.weakly_correct_over),
             "tolerates_crashes": self.tolerates_crashes,
+            "self_stabilizing": self.self_stabilizing,
         }
 
 
@@ -119,6 +123,9 @@ def parse_claims(raw) -> Optional[ProtocolClaims]:
     tolerates = raw.get("tolerates_crashes", False)
     if not isinstance(tolerates, bool):
         raise ClaimError("claim 'tolerates_crashes' must be a bool")
+    stab = raw.get("self_stabilizing")
+    if stab is not None and not isinstance(stab, bool):
+        raise ClaimError("claim 'self_stabilizing' must be a bool")
     return ProtocolClaims(
         message_independent=raw.get("message_independent"),
         bounded_headers=raw.get("bounded_headers"),
@@ -126,6 +133,7 @@ def parse_claims(raw) -> Optional[ProtocolClaims]:
         k_bounded=k,
         weakly_correct_over=wco,
         tolerates_crashes=tolerates,
+        self_stabilizing=stab,
     )
 
 
@@ -465,6 +473,24 @@ def check_contradictions(deep):
         channel = getattr(record, "channel", None)
         crashes = bool(getattr(record, "crashes", False))
         oracles = ", ".join(getattr(record, "violated_oracles", ()) or ())
+        init_mode = getattr(record, "init_mode", "clean")
+        if init_mode == "arbitrary":
+            # A corrupted-start campaign exercises self-stabilization,
+            # not clean-start weak correctness; its violations refute
+            # only the self_stabilizing claim.
+            if not crashes and claims.self_stabilizing:
+                yield {
+                    "message": (
+                        f"{deep.name} claims to be self-stabilizing "
+                        f"but a recorded crash-free arbitrary-"
+                        f"initial-state fuzz campaign (seed "
+                        f"{getattr(record, 'seed', '?')}) violated "
+                        f"{oracles or 'its stabilization oracles'}: "
+                        f"the claim is refuted by runtime evidence"
+                    ),
+                    **location,
+                }
+            continue
         if not crashes and channel in claims.weakly_correct_over:
             yield {
                 "message": (

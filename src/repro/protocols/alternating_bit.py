@@ -169,5 +169,6 @@ def alternating_bit_protocol() -> DataLinkProtocol:
             "k_bounded": 1,
             "weakly_correct_over": ("fifo",),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )

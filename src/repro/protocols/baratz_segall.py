@@ -263,5 +263,6 @@ def baratz_segall_protocol(nonvolatile: bool = True) -> DataLinkProtocol:
             "crashing": not nonvolatile,
             "weakly_correct_over": ("fifo", "nonfifo"),
             "tolerates_crashes": nonvolatile,
+            "self_stabilizing": False,
         },
     )

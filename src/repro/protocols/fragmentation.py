@@ -236,5 +236,6 @@ def fragmenting_protocol(
             "k_bounded": max_fragments,
             "weakly_correct_over": ("fifo",),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )

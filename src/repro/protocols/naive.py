@@ -135,6 +135,7 @@ def direct_protocol() -> DataLinkProtocol:
             "crashing": True,
             "weakly_correct_over": (),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )
 
@@ -219,6 +220,7 @@ def eager_protocol() -> DataLinkProtocol:
             "crashing": True,
             "weakly_correct_over": (),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )
 

@@ -251,5 +251,6 @@ def selective_repeat_protocol(
             "k_bounded": window,
             "weakly_correct_over": ("fifo",),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )

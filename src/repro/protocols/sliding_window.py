@@ -208,5 +208,6 @@ def sliding_window_protocol(
             "k_bounded": window,
             "weakly_correct_over": ("fifo",),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )

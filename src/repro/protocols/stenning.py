@@ -189,6 +189,7 @@ def stenning_protocol() -> DataLinkProtocol:
             "crashing": True,
             "weakly_correct_over": ("fifo", "nonfifo"),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )
 
@@ -217,5 +218,6 @@ def modulo_stenning_protocol(modulus: int) -> DataLinkProtocol:
             "k_bounded": 1,
             "weakly_correct_over": ("fifo",),
             "tolerates_crashes": False,
+            "self_stabilizing": False,
         },
     )

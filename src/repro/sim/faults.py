@@ -38,6 +38,8 @@ class FaultPlan:
     crash_probability: float = 0.0
     crash_transmitter: bool = True
     crash_receiver: bool = True
+    link_flap_probability: float = 0.0
+    link_partition_probability: float = 0.0
     seed: int = 0
 
 
@@ -49,10 +51,17 @@ class GeneratedScript:
     messages: Tuple[Message, ...]
     crash_count: int = 0
     fail_cycles: int = 0
+    link_flaps: int = 0
+    link_partitions: int = 0
 
     @property
     def has_faults(self) -> bool:
-        return self.crash_count > 0 or self.fail_cycles > 0
+        return (
+            self.crash_count > 0
+            or self.fail_cycles > 0
+            or self.link_flaps > 0
+            or self.link_partitions > 0
+        )
 
 
 def generate_script(
@@ -74,6 +83,8 @@ def generate_script(
     messages: List[Message] = []
     crash_count = 0
     fail_cycles = 0
+    link_flaps = 0
+    link_partitions = 0
     sent = 0
     while sent < plan.messages:
         roll = rng.random()
@@ -107,12 +118,50 @@ def generate_script(
             fail_cycles += 1
             actions.extend([system.fail_r(), system.wake_r()])
             continue
+        # The dynamic-link windows sit after the legacy ones, so a plan
+        # with zero link probabilities generates byte-identical scripts
+        # to the pre-dynamic-link generator under the same seed.
+        ladder = (
+            plan.crash_probability
+            + plan.fail_probability
+            + plan.receiver_fail_probability
+        )
+        if roll < ladder + plan.link_flap_probability:
+            # Link flap: one direction goes down and comes back up.
+            link_flaps += 1
+            if rng.choice(("t", "r")) == "t":
+                actions.extend([system.fail_t(), system.wake_t()])
+            else:
+                actions.extend([system.fail_r(), system.wake_r()])
+            continue
+        if roll < (
+            ladder
+            + plan.link_flap_probability
+            + plan.link_partition_probability
+        ):
+            # Link partition: both directions down simultaneously, then
+            # both restored (the dynamic-link "network split" event).
+            link_partitions += 1
+            actions.extend(
+                [
+                    system.fail_t(),
+                    system.fail_r(),
+                    system.wake_t(),
+                    system.wake_r(),
+                ]
+            )
+            continue
         message = factory.fresh()
         messages.append(message)
         actions.append(system.send(message))
         sent += 1
     return GeneratedScript(
-        tuple(actions), tuple(messages), crash_count, fail_cycles
+        tuple(actions),
+        tuple(messages),
+        crash_count,
+        fail_cycles,
+        link_flaps,
+        link_partitions,
     )
 
 

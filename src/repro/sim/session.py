@@ -50,7 +50,9 @@ class Session:
     execution (exhausting it flags the result non-quiescent rather
     than raising).  Passing ``rng`` makes the interleaving draw from a
     caller-owned :class:`random.Random` instead of a fresh one derived
-    from ``seed`` on each ``run()``.
+    from ``seed`` on each ``run()``.  ``initial_state`` overrides the
+    composition's initial state -- the hook the self-stabilization
+    workloads use to start a conversation from a corrupted state.
     """
 
     system: DataLinkSystem
@@ -59,6 +61,7 @@ class Session:
     max_interleave: int = 8
     max_steps: int = 200_000
     rng: Optional[random.Random] = None
+    initial_state: Optional[object] = None
 
     @classmethod
     def from_spec(
@@ -113,7 +116,12 @@ class Session:
             if self.rng is not None
             else random.Random(self.seed)
         )
-        fragment = ExecutionFragment.initial(system.initial_state())
+        start = (
+            self.initial_state
+            if self.initial_state is not None
+            else system.initial_state()
+        )
+        fragment = ExecutionFragment.initial(start)
         budget = self.max_steps
         tracer = current_tracer()
         with tracer.span("sim.scenario", seed=self.seed):

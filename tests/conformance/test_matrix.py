@@ -16,6 +16,8 @@ deterministic.  The expectations encode the paper's channel taxonomy:
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.conformance import FUZZ_PROTOCOLS, FuzzConfig, fuzz_campaign
@@ -68,6 +70,34 @@ def test_broken_combinations_are_caught(protocol, channel):
 def test_matrix_covers_every_registered_protocol():
     covered = set(CLEAN_FIFO) | {p for p, _ in MUST_VIOLATE}
     assert covered == set(FUZZ_PROTOCOLS)
+
+
+STAB_CONFIG = dataclasses.replace(
+    CONFIG,
+    runs=2,
+    messages=3,
+    max_steps=4000,
+    init_mode="arbitrary",
+)
+
+
+@pytest.mark.parametrize("protocol", sorted(FUZZ_PROTOCOLS))
+@pytest.mark.parametrize("channel", ["fifo", "bounded_nonfifo"])
+def test_stabilization_axis_measures_every_protocol(protocol, channel):
+    """The arbitrary-initial-state axis: every protocol x channel pair
+    runs deterministically from corrupted starts, measures
+    stabilization_time on each run, and is judged only by the SSTAB
+    family (a corrupted prefix must never convict a protocol under the
+    clean-start DL/PL oracles)."""
+    campaign = fuzz_campaign(protocol, channel, SEED, STAB_CONFIG)
+    assert len(campaign.runs) == 2
+    for run in campaign.runs:
+        assert run.error is None
+        assert run.stabilization_time is not None
+        assert run.stab_converged is not None
+    for violation in campaign.violations:
+        assert violation.violation.oracle.startswith("SSTAB")
+    assert "stabilization" in campaign.report().details
 
 
 def test_deep_k_bound_probe_failure_is_a_violation():

@@ -186,10 +186,10 @@ def test_worker_crash_mid_batch_fails_only_that_batch():
     crash_tr = schedule[4].channel_tr
     base = FUZZ_CHANNELS["perfect"]
 
-    def crashing_channel(src, dst, chan_seed, loss, window, horizon):
+    def crashing_channel(src, dst, chan_seed, loss, window, horizon, capacity=4):
         if pool._WORKER and src == "t" and chan_seed == crash_tr:
             os._exit(41)
-        return base(src, dst, chan_seed, loss, window, horizon)
+        return base(src, dst, chan_seed, loss, window, horizon, capacity)
 
     config = FuzzConfig(runs=runs, shrink=False)
     serial = fuzz_campaign(PROTOCOL, "perfect", seed, config)

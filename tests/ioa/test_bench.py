@@ -1,0 +1,48 @@
+"""Regression tests for the exploration benchmark's verdict table.
+
+``bench/BENCH_explore.json`` once recorded abp-reorder-2 as
+``"ok": false`` with no explanation -- an expected failure (the
+alternating-bit protocol is provably broken under depth-2 reordering)
+indistinguishable from a real engine regression.  The case table now
+carries ``expected_ok`` and the benchmark raises when any verdict
+drifts from its expectation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.engine.bench import DEFAULT_CASES, run_bench
+
+
+def test_every_case_declares_its_expected_verdict():
+    expectations = {key: expected for key, _, _, _, _, expected in DEFAULT_CASES}
+    assert expectations["abp-reorder-2"] is False
+    assert all(
+        expected for key, expected in expectations.items()
+        if key != "abp-reorder-2"
+    )
+
+
+def test_bench_verdicts_match_expectations():
+    report = run_bench(repeats=1)
+    expectations = {key: expected for key, _, _, _, _, expected in DEFAULT_CASES}
+    assert set(report["protocols"]) == set(expectations)
+    for key, row in report["protocols"].items():
+        assert row["ok"] == row["expected_ok"] == expectations[key]
+        if row["expected_ok"]:
+            assert row["note"] is None
+        else:
+            assert "expected failure" in row["note"]
+
+
+def test_drifted_verdict_raises():
+    # Flip abp's expectation: the differential run must refuse to
+    # report a verdict that contradicts the case table.
+    cases = tuple(
+        (key, spec, m, c, d, not expected) if key == "abp" else
+        (key, spec, m, c, d, expected)
+        for key, spec, m, c, d, expected in DEFAULT_CASES[:1]
+    )
+    with pytest.raises(AssertionError, match="expected_ok"):
+        run_bench(cases=cases, repeats=1)

@@ -163,3 +163,50 @@ def test_gate_rejects_refuting_evidence():
     report = lint_targets(targets, deep=True, evidence=[forged])
     assert [d.code for d in report.diagnostics] == ["REP304"]
     assert "refuted by runtime evidence" in report.diagnostics[0].message
+
+
+def _arbitrary_record(violations=1):
+    return EvidenceRecord(
+        protocol="alternating-bit",
+        registry_name="alternating_bit",
+        channel="fifo",
+        mix="default",
+        crashes=False,
+        seed=5,
+        runs=4,
+        violations=violations,
+        violated_oracles=("SSTAB2",) if violations else (),
+        init_mode="arbitrary",
+    )
+
+
+def test_arbitrary_evidence_never_refutes_weak_correctness():
+    # abp claims weak correctness over FIFO, and a corrupted-start
+    # campaign legitimately convicts it under SSTAB2 -- but that run
+    # says nothing about clean-start weak correctness, so REP304 must
+    # stay silent (abp also declares self_stabilizing=False, which a
+    # violation trivially confirms).
+    targets = [t for t in zoo_targets() if t.name == "abp"]
+    report = lint_targets(
+        targets, deep=True, evidence=[_arbitrary_record()]
+    )
+    assert report.ok, report.render_text()
+
+
+def test_gate_rejects_refuted_self_stabilization_claim():
+    import dataclasses
+
+    from repro.lint.driver import target_from
+
+    base = next(t for t in zoo_targets() if t.name == "abp").build()
+    claimed = dataclasses.replace(
+        base, claims={**base.claims, "self_stabilizing": True}
+    )
+    report = lint_targets(
+        [target_from(claimed, name="abp")],
+        deep=True,
+        evidence=[_arbitrary_record()],
+    )
+    assert [d.code for d in report.diagnostics] == ["REP304"]
+    assert "self-stabilizing" in report.diagnostics[0].message
+    assert "SSTAB2" in report.diagnostics[0].message

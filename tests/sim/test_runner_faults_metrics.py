@@ -81,6 +81,70 @@ class TestFaultScripts:
         assert len(script.messages) == 10  # initial burst + 4 more
         assert dl_well_formed(script.actions, "t", "r").holds
 
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dynamic_link_scripts_stay_well_formed(self, seed):
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(
+            messages=8,
+            link_flap_probability=0.3,
+            link_partition_probability=0.2,
+            seed=seed,
+        )
+        script = generate_script(system, plan)
+        assert dl_well_formed(script.actions, "t", "r").holds
+        assert dl2(script.actions, "t", "r").holds
+        assert dl3(script.actions, "t", "r").holds
+
+    def test_dynamic_link_events_are_counted_as_faults(self):
+        system = fifo_system(alternating_bit_protocol())
+        plan = FaultPlan(
+            messages=12,
+            link_flap_probability=0.4,
+            link_partition_probability=0.3,
+            seed=3,
+        )
+        script = generate_script(system, plan)
+        assert script.link_flaps > 0
+        assert script.link_partitions > 0
+        assert script.crash_count == 0
+        assert script.has_faults
+
+    def test_zero_link_probabilities_are_byte_compatible(self):
+        # The dynamic-link windows sit after the legacy crash/fail
+        # windows, so a plan that never exercises them must consume the
+        # RNG identically to the pre-dynamic-link generator.
+        system = fifo_system(alternating_bit_protocol())
+        legacy = generate_script(
+            system,
+            FaultPlan(messages=10, fail_probability=0.3, seed=123),
+            MessageFactory(),
+        )
+        extended = generate_script(
+            system,
+            FaultPlan(
+                messages=10,
+                fail_probability=0.3,
+                link_flap_probability=0.0,
+                link_partition_probability=0.0,
+                seed=123,
+            ),
+            MessageFactory(),
+        )
+        assert legacy.actions == extended.actions
+        assert extended.link_flaps == extended.link_partitions == 0
+
+    def test_link_mixes_are_registered_fault_mixes(self):
+        from repro.conformance import FuzzConfig
+        from repro.conformance.harness import FAULT_MIXES, with_mix
+
+        for mix in ("link-flap", "link-partition"):
+            assert mix in FAULT_MIXES
+        assert with_mix(FuzzConfig(), "link-flap").link_flap_probability > 0
+        assert (
+            with_mix(FuzzConfig(), "link-partition").link_partition_probability
+            > 0
+        )
+
 
 class TestRunner:
     def test_scenario_quiesces(self):

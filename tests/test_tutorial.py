@@ -351,3 +351,96 @@ class TestSection12Load:
         names = {event.name for event in sink.events}
         assert "load.shard.sessions" in names
         assert "load.session" in names
+
+
+class TestSection13Stabilization:
+    """Mirrors tutorial section 13: the self-stabilization walkthrough."""
+
+    def config(self, **overrides):
+        import dataclasses
+
+        from repro.conformance import FuzzConfig
+
+        return dataclasses.replace(
+            FuzzConfig(),
+            init_mode="arbitrary",
+            messages=4,
+            max_steps=4000,
+            **overrides,
+        )
+
+    def test_corruption_perturbs_the_transmitter_as_documented(self):
+        from repro.conformance import SubSeeds, build_system, corrupt_initial_state
+
+        seeds = SubSeeds(channel_tr=1, channel_rt=2, script=3, interleave=4)
+        config = self.config()
+        system = build_system("alternating_bit", "bounded_nonfifo", seeds, config)
+        clean = system.automaton.initial_state()
+        corrupted = corrupt_initial_state(system, seeds, config)
+        assert corrupted != clean
+        tx = corrupted[0]
+        assert (tx.core.bit, tx.core.awake, tx.uid_counter) == (1, True, 6)
+
+    def test_worked_single_run_stabilizes_immediately(self):
+        from repro.conformance import (
+            SubSeeds,
+            build_script,
+            build_system,
+            execute_script,
+            stabilization_report,
+        )
+
+        seeds = SubSeeds(channel_tr=1, channel_rt=2, script=3, interleave=4)
+        config = self.config()
+        system = build_system("alternating_bit", "bounded_nonfifo", seeds, config)
+        script = build_script(system, seeds, config)
+        result = execute_script(system, script.actions, seeds, config)
+        assert result.quiescent
+        report = stabilization_report(result.behavior, system.t, system.r)
+        assert (report.length, report.time, report.converged) == (9, 0, True)
+
+    def test_worked_campaign_numbers(self):
+        from repro.conformance import fuzz_campaign
+
+        campaign = fuzz_campaign(
+            "alternating_bit",
+            "bounded_nonfifo",
+            3,
+            self.config(runs=5),
+        )
+        convictions = [
+            (v.run_index, v.violation.oracle) for v in campaign.violations
+        ]
+        assert convictions == [(0, "SSTAB2"), (1, "SSTAB2"), (4, "SSTAB2")]
+        assert "stabilization_time 9 exceeds the convergence bound 8" in (
+            campaign.violations[0].violation.witness
+        )
+        stab = campaign.report().details["stabilization"]
+        assert (stab["p50"], stab["p95"], stab["p99"], stab["max"]) == (
+            9, 15, 15, 15,
+        )
+        assert stab["measured_runs"] == stab["converged_runs"] == 5
+        # The shrinker tightens the run-0 script as documented.
+        first = campaign.violations[0]
+        assert (first.script_length, first.shrunk_length) == (6, 5)
+
+    def test_repro_file_replays_the_sstab2_conviction(self, tmp_path):
+        from repro.conformance import fuzz_campaign, replay, save_repro
+
+        campaign = fuzz_campaign(
+            "alternating_bit", "bounded_nonfifo", 3, self.config(runs=1)
+        )
+        path = save_repro(
+            tmp_path / "repro.json", campaign.violations[0].repro
+        )
+        outcome = replay(path)
+        assert outcome.reproduced
+        assert outcome.oracle == "SSTAB2"
+
+    def test_zoo_protocols_decline_the_self_stabilizing_claim(self):
+        from repro.conformance import FUZZ_PROTOCOLS
+        from repro.lint.claims import parse_claims
+
+        for name in sorted(FUZZ_PROTOCOLS):
+            claims = parse_claims(FUZZ_PROTOCOLS[name]().claims)
+            assert claims.self_stabilizing is False, name
