@@ -182,6 +182,10 @@ class RunOutcome:
     post_events: Tuple[Event, ...] = ()
     error: Optional[str] = None
     timed_out: bool = False
+    #: why the requested wall-clock guard could not be armed for this
+    #: run (None when it armed, or was never requested); the run still
+    #: executed, just unguarded.
+    timeout_unavailable: Optional[str] = None
     duration_s: float = 0.0
 
 
@@ -223,11 +227,22 @@ def _alarm(seconds: Optional[float]):
     """Raise :class:`RunTimeout` if the block runs longer than ``seconds``.
 
     SIGALRM-based, so it interrupts a wedged run mid-step (a plain
-    after-the-fact duration check could not).  Silently a no-op when
-    timers are unavailable (non-POSIX platforms, non-main threads).
+    after-the-fact duration check could not).  Yields a guard-status
+    dict: ``armed`` says whether a timer actually protects the block,
+    and ``unavailable`` carries the reason when a *requested* guard
+    could not be installed -- no ``setitimer`` on the platform, or
+    ``signal.signal`` refused because we are not on the main thread.
+    In both cases the block still runs, just unguarded; the campaign
+    surfaces the degradation (``fuzz.pool.timeout_unavailable``)
+    instead of hiding it.
     """
-    if not seconds or not hasattr(signal, "setitimer"):
-        yield
+    status = {"armed": False, "unavailable": None}
+    if not seconds:
+        yield status
+        return
+    if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
+        status["unavailable"] = "no SIGALRM timers on this platform"
+        yield status
         return
 
     def _on_alarm(signum, frame):
@@ -235,12 +250,19 @@ def _alarm(seconds: Optional[float]):
 
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
-    except ValueError:  # pragma: no cover - not in the main thread
-        yield
+    except ValueError:
+        # signal handlers can only be installed from the main thread;
+        # a campaign embedded in a worker thread runs unguarded.
+        status["unavailable"] = (
+            "SIGALRM handlers require the main thread; "
+            "run executed without a wall-clock guard"
+        )
+        yield status
         return
+    status["armed"] = True
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        yield
+        yield status
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
@@ -264,21 +286,19 @@ def _capturing(capture: bool):
 
 
 def _distinct_states(
-    states: Sequence[State],
+    result: "ScenarioResult",  # noqa: F821
 ) -> Tuple[StateFingerprint, ...]:
     """Distinct states of one run, fingerprinted, first-occurrence order.
 
-    Each state is hashed exactly once (inside the fingerprint
-    constructor); the dedup probes reuse the cached hash.
+    Dedup happens in the encoded domain
+    (:meth:`~repro.sim.runner.ScenarioResult.distinct_states`, via the
+    identity-memoized stream encoder), so only the *distinct* states
+    are ever deep-hashed -- once each, inside the fingerprint
+    constructor, where the master-bound cached hash is computed anyway.
     """
-    seen = set()
-    distinct = []
-    for state in states:
-        fingerprint = StateFingerprint(state)
-        if fingerprint not in seen:
-            seen.add(fingerprint)
-            distinct.append(fingerprint)
-    return tuple(distinct)
+    return tuple(
+        StateFingerprint(state) for state in result.distinct_states()
+    )
 
 
 def execute_run(
@@ -306,8 +326,9 @@ def execute_run(
     from .fuzzer import _checks_for, _package_violation
 
     started = time.perf_counter()
+    guard = {"armed": False, "unavailable": None}
     try:
-        with _alarm(run_timeout):
+        with _alarm(run_timeout) as guard:
             with _capturing(capture) as pre_events:
                 system = build_system(
                     protocol, channel, subseeds, config, resolved=resolved
@@ -361,6 +382,7 @@ def execute_run(
             index=index,
             subseeds=subseeds,
             error=f"{type(exc).__name__}: {exc}",
+            timeout_unavailable=guard["unavailable"],
             duration_s=time.perf_counter() - started,
         )
     return RunOutcome(
@@ -371,13 +393,14 @@ def execute_run(
         behavior_length=len(result.behavior),
         stabilization_time=stab_time,
         stab_converged=stab_converged,
-        state_values=_distinct_states(result.fragment.states),
+        state_values=_distinct_states(result),
         found=found,
         violations=packaged,
         oracle_checks=oracle_checks,
         pre_events=tuple(pre_events),
         post_events=tuple(post_events),
         error=None,
+        timeout_unavailable=guard["unavailable"],
         duration_s=time.perf_counter() - started,
     )
 

@@ -7,18 +7,31 @@ pieces are exposed here for direct use and benchmarking:
   memoized composition stepping;
 * :mod:`.parallel` -- layer-sharded multiprocessing frontier mode;
 * :mod:`.interning` -- the dense-id intern table;
+* :mod:`.encoding` -- the flat state encoder (tuple and packed forms)
+  shared by every backend;
+* :mod:`.accel` -- the compiled packed-key search core (built on
+  demand from ``_accel.c``, pure-Python fallback otherwise);
+* :mod:`.diskstore` -- the disk-backed sharded frontier/visited store;
 * :mod:`.bench` -- the states/sec benchmark emitter behind
   ``bench/BENCH_explore.json``.
 """
 
 from .core import ExplorationResult, explore_engine
+from .diskstore import DiskStateSet, DiskStore, explore_disk
+from .encoding import EncodingOverflow, StateEncoder, StreamEncoder
 from .interning import InternTable
 from .parallel import PARALLEL_THRESHOLD, explore_parallel
 
 __all__ = [
+    "DiskStateSet",
+    "DiskStore",
+    "EncodingOverflow",
     "ExplorationResult",
     "InternTable",
     "PARALLEL_THRESHOLD",
+    "StateEncoder",
+    "StreamEncoder",
+    "explore_disk",
     "explore_engine",
     "explore_parallel",
 ]

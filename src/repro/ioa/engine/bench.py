@@ -31,11 +31,19 @@ TRACE_PATH = os.path.join("bench", "BENCH_explore_trace.jsonl")
 #: the alternating-bit protocol is provably broken under depth-2
 #: reordering (the Section 8 contrast), and the benchmark doubles as a
 #: regression test that the engine still finds that counterexample.
+#:
+#: The headline cases run at (messages=3, capacity=3): a few thousand
+#: states each, enough for states/sec to measure steady-state stepping
+#: throughput rather than the per-run fixed cost (building the closed
+#: system and warming the encoder's stepping memos, which every backend
+#: pays once per exploration).  ``abp-small`` keeps the old tiny
+#: configuration so the fixed-cost regime stays visible in the report.
 DEFAULT_CASES: Tuple[Tuple[str, str, int, int, int, bool], ...] = (
-    ("abp", "alternating_bit_protocol", 2, 2, 1, True),
+    ("abp", "alternating_bit_protocol", 3, 3, 1, True),
     ("sliding-window-2", "sliding_window_protocol:2", 2, 2, 1, True),
-    ("stenning", "stenning_protocol", 2, 2, 1, True),
-    ("fragmenting", "fragmenting_protocol:1,2", 2, 2, 1, True),
+    ("stenning", "stenning_protocol", 3, 3, 1, True),
+    ("fragmenting", "fragmenting_protocol:1,2", 3, 3, 1, True),
+    ("abp-small", "alternating_bit_protocol", 2, 2, 1, True),
     ("abp-reorder-2", "alternating_bit_protocol", 2, 3, 2, False),
 )
 
@@ -79,20 +87,34 @@ def run_bench(
 ) -> Dict:
     """Benchmark engine vs. reference BFS on each closed system.
 
-    Every case is cross-checked while it is timed: the engine and the
-    reference must agree on the reachable-state set and the
-    ``truncated`` flag, so a benchmark run is also a differential test.
+    Every case is cross-checked while it is timed: the engine, the
+    reference, and (when the compiled backend is available) the
+    accelerated backend must agree on the reachable-state set and the
+    ``truncated`` flag, so a benchmark run is also a three-way
+    differential test.
     """
     from repro.analysis.model_check import build_closed_system
+    from repro.ioa.engine.accel import accel_backend_id
     from repro.ioa.explorer import explore
 
+    backend = accel_backend_id()
+    if hasattr(os, "sched_getaffinity"):
+        effective_cpus = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - platforms without affinity masks
+        effective_cpus = os.cpu_count() or 1
     report: Dict = {
         "generated_by": "repro.ioa.engine.bench",
         "repeats": repeats,
         "workers": workers,
+        "accel_backend": backend,
+        # Absolute states/sec is host-dependent; regression gates
+        # should annotate or skip when the affinity mask is starved
+        # (mirrors the fuzz bench's oversubscription annotation).
+        "effective_cpus": effective_cpus,
         "protocols": {},
     }
     speedups = []
+    accel_speedups = []
     for key, spec, messages, capacity, reorder_depth, expected_ok in cases:
 
         def build_system(spec=spec, memoize=True):
@@ -125,6 +147,14 @@ def run_bench(
                 engine="reference",
             )
 
+        def accel_fn(composition, invariant, max_depth):
+            return explore(
+                composition,
+                invariant=invariant,
+                max_depth=max_depth,
+                engine="accel",
+            )
+
         engine_seconds, engine_result = _time_explore(
             engine_fn, build_system, repeats
         )
@@ -133,6 +163,15 @@ def run_bench(
             lambda: build_system(memoize=False),
             repeats,
         )
+        if backend is not None:
+            accel_seconds, accel_result = _time_explore(
+                accel_fn, build_system, repeats
+            )
+        else:
+            # No compiler: explore(engine="accel") would silently fall
+            # back and time the engine twice, which is not a
+            # measurement.  The columns stay null instead.
+            accel_seconds, accel_result = None, None
         if engine_result.states != reference_result.states:
             raise AssertionError(
                 f"{key}: engine and reference disagree on the "
@@ -142,6 +181,20 @@ def run_bench(
             raise AssertionError(
                 f"{key}: engine and reference disagree on truncation"
             )
+        if accel_result is not None:
+            if set(accel_result.states) != engine_result.states:
+                raise AssertionError(
+                    f"{key}: accel and engine disagree on the "
+                    "reachable-state set"
+                )
+            if accel_result.truncated != engine_result.truncated:
+                raise AssertionError(
+                    f"{key}: accel and engine disagree on truncation"
+                )
+            if accel_result.ok != engine_result.ok:
+                raise AssertionError(
+                    f"{key}: accel and engine disagree on the verdict"
+                )
         if engine_result.ok != expected_ok:
             raise AssertionError(
                 f"{key}: verdict ok={engine_result.ok} does not match "
@@ -157,7 +210,7 @@ def run_bench(
             "invariant in this configuration (abp-reorder-2: the "
             "alternating-bit protocol breaks under depth-2 reordering)"
         )
-        report["protocols"][key] = {
+        row = {
             "messages": messages,
             "capacity": capacity,
             "reorder_depth": reorder_depth,
@@ -172,8 +225,23 @@ def run_bench(
                 states / reference_seconds, 1
             ),
             "speedup": round(speedup, 2),
+            "accel_seconds": None,
+            "accel_states_per_sec": None,
+            "accel_speedup": None,
         }
+        if accel_seconds is not None:
+            accel_speedup = engine_seconds / accel_seconds
+            accel_speedups.append(accel_speedup)
+            row["accel_seconds"] = round(accel_seconds, 6)
+            row["accel_states_per_sec"] = round(
+                states / accel_seconds, 1
+            )
+            row["accel_speedup"] = round(accel_speedup, 2)
+        report["protocols"][key] = row
     report["median_speedup"] = round(median(speedups), 2)
+    report["median_accel_speedup"] = (
+        round(median(accel_speedups), 2) if accel_speedups else None
+    )
     return report
 
 

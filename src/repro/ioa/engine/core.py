@@ -42,6 +42,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
     Callable,
     Dict,
     Iterable,
@@ -51,11 +53,14 @@ from typing import (
     Tuple,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...obs import RunReport
+
 from ...obs import current_tracer
 from ..actions import Action
 from ..automaton import Automaton, State
 from ..composition import Composition
-from .interning import InternTable
+from .encoding import StateEncoder
 
 Environment = Optional[Callable[[State], Iterable[Action]]]
 Invariant = Optional[Callable[[State], bool]]
@@ -85,13 +90,18 @@ class InputEnablednessError(RuntimeError):
 class ExplorationResult:
     """Outcome of a bounded exploration.
 
-    ``states`` is the set of distinct reachable states visited;
+    ``states`` is the set of distinct reachable states visited -- a
+    plain ``set`` from the Python backends, or a lazy set view
+    (:class:`~repro.ioa.engine.accel.LazyStateSet`,
+    :class:`~repro.ioa.engine.diskstore.DiskStateSet`) from backends
+    whose states would be expensive to decode eagerly; every view
+    supports ``len``/``in``/iteration/equality like a real set.
     ``truncated`` is True when the state or depth budget was exhausted
     before the frontier emptied; ``violation`` carries the first
     invariant violation found, as a (state, trace) pair.
     """
 
-    states: Set[State]
+    states: AbstractSet[State]
     truncated: bool
     violation: Optional[Tuple[State, Tuple[Action, ...]]] = None
 
@@ -124,6 +134,7 @@ def explore_engine(
     max_depth: int = 10_000,
     validate: bool = False,
     initial_state: Optional[State] = None,
+    encoder: Optional[StateEncoder] = None,
 ) -> ExplorationResult:
     """Serial engine entry point (see module docstring).
 
@@ -133,9 +144,11 @@ def explore_engine(
     is enabled, raising :class:`InputEnablednessError` otherwise.
     ``initial_state`` starts the search from the given (possibly
     unreachable) state instead of the automaton's own initial state.
+    ``encoder`` lets a caller share a pre-warmed :class:`StateEncoder`
+    (ids and stepping memos) with this search.
     """
     if isinstance(automaton, Composition):
-        return _CompositionSearch(automaton).run(
+        return _CompositionSearch(automaton, encoder=encoder).run(
             environment,
             invariant,
             max_states,
@@ -271,98 +284,47 @@ def _explore_generic(
 class _CompositionSearch:
     """BFS over interned (encoded) states of a :class:`Composition`.
 
-    Encoded states are tuples of per-slot slice ids.  Actions are
-    interned to integer *tokens*; per-slot caches map ``sid`` to the
-    slice's enabled (token, owners) pairs and ``(sid, token)`` to the
-    successor slice ids, so a slice value is only ever stepped once per
-    action no matter how many composed states contain it.
+    Encoded states are tuples of per-slot slice ids.  The mapping and
+    the stepping caches live in a shared :class:`StateEncoder` -- one
+    per search, or one handed in by a caller that wants to reuse the
+    ids (the parallel frontier and the accelerated backend do) --
+    mapping ``sid`` to the slice's enabled (token, owners) pairs and
+    ``(sid, token)`` to the successor slice ids, so a slice value is
+    only ever stepped once per action no matter how many composed
+    states contain it.
     """
 
-    def __init__(self, composition: Composition):
+    def __init__(
+        self,
+        composition: Composition,
+        encoder: Optional[StateEncoder] = None,
+    ):
         self.composition = composition
-        self.components = composition.components
-        self.n = len(self.components)
-        self.family_owners = composition.family_owners
-        # Per-slot slice interning and caches, indexed by slice id.
-        self.slice_tables: List[InternTable] = [
-            InternTable() for _ in range(self.n)
-        ]
-        # sid -> tuple[(token, owners)] of enabled local actions (lazy).
-        self.enabled_by_sid: List[List[Optional[Tuple]]] = [
-            [] for _ in range(self.n)
-        ]
-        # sid -> {token: tuple[successor sid, ...]} (lazy per token).
-        self.steps_by_sid: List[List[Dict[int, Tuple[int, ...]]]] = [
-            [] for _ in range(self.n)
-        ]
-        # Action interning: token ids are dense.
-        self.token_of_action: Dict[Action, int] = {}
-        self.action_of_token: List[Action] = []
-        self.owners_of_token: List[Tuple[int, ...]] = []
+        self.n = len(composition.components)
+        self.encoder = encoder if encoder is not None else StateEncoder(
+            composition
+        )
 
-    # -- interning ------------------------------------------------------
-
-    def _intern_slice(self, slot: int, slice_state: State) -> int:
-        sid = self.slice_tables[slot].intern(slice_state)
-        if sid == len(self.enabled_by_sid[slot]):
-            self.enabled_by_sid[slot].append(None)
-            self.steps_by_sid[slot].append({})
-        return sid
-
-    def _token(self, action: Action) -> int:
-        token = self.token_of_action.get(action)
-        if token is None:
-            token = len(self.action_of_token)
-            self.token_of_action[action] = token
-            self.action_of_token.append(action)
-            self.owners_of_token.append(
-                tuple(self.family_owners.get(action.key, ()))
-            )
-        return token
+    # -- encoding (delegated to the shared encoder) ---------------------
 
     def encode(self, state: State) -> Tuple[int, ...]:
-        return tuple(
-            self._intern_slice(slot, slice_state)
-            for slot, slice_state in enumerate(state)
-        )
+        return self.encoder.encode(state)
 
     def decode(self, encoded: Tuple[int, ...]) -> State:
-        return tuple(
-            table.values[sid]
-            for table, sid in zip(self.slice_tables, encoded)
-        )
+        return self.encoder.decode(encoded)
 
-    # -- cached component queries --------------------------------------
+    def _token(self, action: Action) -> int:
+        return self.encoder.token(action)
 
-    def _enabled_pairs(self, slot: int, sid: int) -> Tuple:
-        pairs = self.enabled_by_sid[slot][sid]
-        if pairs is None:
-            slice_state = self.slice_tables[slot].values[sid]
-            fresh: List[Tuple[int, Tuple[int, ...]]] = []
-            for action in self.components[slot].enabled_local_actions(
-                slice_state
-            ):
-                token = self._token(action)
-                fresh.append((token, self.owners_of_token[token]))
-            pairs = tuple(fresh)
-            self.enabled_by_sid[slot][sid] = pairs
-        return pairs
+    def _enabled_pairs(
+        self, slot: int, sid: int
+    ) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        return self.encoder.enabled_pairs(slot, sid)
 
     def _successor_sids(
         self, slot: int, sid: int, token: int
     ) -> Tuple[int, ...]:
-        steps = self.steps_by_sid[slot][sid]
-        successors = steps.get(token)
-        if successors is None:
-            slice_state = self.slice_tables[slot].values[sid]
-            raw = self.components[slot].transitions(
-                slice_state, self.action_of_token[token]
-            )
-            successors = tuple(
-                self._intern_slice(slot, post) for post in raw
-            )
-            steps[token] = successors
-        return successors
+        return self.encoder.successor_sids(slot, sid, token)
 
     # -- expansion ------------------------------------------------------
 
@@ -371,12 +333,13 @@ class _CompositionSearch:
     ) -> Iterable[Tuple[int, Tuple[int, ...]]]:
         """Yield ``(action token, successor encoded state)`` in the same
         deterministic order the naive explorer visits successors."""
+        encoder = self.encoder
         pairs: List[Tuple[int, Tuple[int, ...]]] = []
         for slot in range(self.n):
-            pairs.extend(self._enabled_pairs(slot, encoded[slot]))
+            pairs.extend(encoder.enabled_pairs(slot, encoded[slot]))
         for action in extra_actions:
-            token = self._token(action)
-            pairs.append((token, self.owners_of_token[token]))
+            token = encoder.token(action)
+            pairs.append((token, encoder.owners_of_token[token]))
         for token, owners in pairs:
             if not owners:
                 continue
@@ -445,6 +408,7 @@ class _CompositionSearch:
             ):
                 next_layer: List[Tuple[int, ...]] = []
                 fired = 0
+                extra: Iterable[Action]
                 for encoded in layer:
                     if environment is not None:
                         current = decode(encoded)
@@ -506,10 +470,11 @@ class _CompositionSearch:
         self._step_queries = 0
         self._step_hits = 0
         inner = self._successor_sids
+        steps_by_sid = self.encoder.steps_by_sid
 
         def counting(slot: int, sid: int, token: int) -> Tuple[int, ...]:
             self._step_queries += 1
-            if token in self.steps_by_sid[slot][sid]:
+            if token in steps_by_sid[slot][sid]:
                 self._step_hits += 1
             return inner(slot, sid, token)
 
@@ -520,10 +485,11 @@ class _CompositionSearch:
         if not tracer.enabled:
             return
         tracer.count(
-            "explore.slices_interned",
-            sum(len(table.values) for table in self.slice_tables),
+            "explore.slices_interned", self.encoder.slices_interned()
         )
-        tracer.count("explore.actions_interned", len(self.action_of_token))
+        tracer.count(
+            "explore.actions_interned", len(self.encoder.action_of_token)
+        )
         queries = getattr(self, "_step_queries", 0)
         if queries:
             tracer.gauge(
@@ -542,7 +508,7 @@ class _CompositionSearch:
             if entry is None:
                 break
             cursor, token = entry
-            actions.append(self.action_of_token[token])
+            actions.append(self.encoder.action_of_token[token])
         actions.reverse()
         return tuple(actions)
 

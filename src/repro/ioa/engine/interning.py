@@ -16,7 +16,7 @@ CPython's per-element identity fast path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List
+from typing import Any, Dict, Hashable, List, Optional
 
 
 class InternTable:
@@ -42,8 +42,13 @@ class InternTable:
             self.values.append(value)
         return ident
 
-    def get(self, value: Hashable):
-        """The id of ``value`` or ``None`` if it was never interned."""
+    def get(self, value: Hashable) -> Optional[int]:
+        """The id of ``value`` or ``None`` if it was never interned.
+
+        A pure probe: unlike :meth:`intern` it never assigns an id, so
+        membership checks (the lazy state-set views use them) cannot
+        grow the table as a side effect.
+        """
         return self._ids.get(value)
 
     def __len__(self) -> int:

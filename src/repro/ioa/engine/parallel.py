@@ -12,6 +12,16 @@ engine would visit them, chunks are merged in layer order, and the
 parent alone applies the seen-set / invariant / budget logic in that
 order.  The result is therefore identical to a serial run.
 
+For compositions the parent's side of the search runs over *encoded*
+states (the flat slice-id tuples of
+:class:`~repro.ioa.engine.encoding.StateEncoder`): the seen set and
+parent pointers hash machine integers instead of nested dataclasses,
+narrow layers expand in-process through the engine's memoized stepping
+caches, and only the raw states crossing the pool boundary are ever
+decoded.  Workers still receive and return raw states -- encodings are
+process-local by contract, and fork-inherited intern tables would
+diverge from the parent's as both sides grow them.
+
 Workers are forked (the automaton, environment closure and caches are
 inherited by the child processes; nothing needs to pickle except the
 states and actions flowing through the pool).  Small layers are
@@ -22,15 +32,17 @@ method is available the search silently degrades to serial.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...obs import current_tracer
 from ..actions import Action
 from ..automaton import Automaton, State
+from ..composition import Composition
 from .core import (
     Environment,
     ExplorationResult,
     Invariant,
+    _CompositionSearch,
     _reconstruct,
 )
 
@@ -66,6 +78,19 @@ def _edges(
     return edges
 
 
+def _make_pool(context, workers, automaton, environment):
+    if context is None:
+        return None
+    try:
+        return context.Pool(
+            workers,
+            initializer=_init_worker,
+            initargs=(automaton, environment),
+        )
+    except OSError:  # pragma: no cover - fork denied
+        return None
+
+
 def explore_parallel(
     automaton: Automaton,
     environment: Environment = None,
@@ -83,6 +108,176 @@ def explore_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
         context = None
+    if isinstance(automaton, Composition):
+        return _explore_parallel_composition(
+            automaton,
+            environment,
+            invariant,
+            max_states,
+            max_depth,
+            workers,
+            parallel_threshold,
+            initial_state,
+            context,
+        )
+    return _explore_parallel_generic(
+        automaton,
+        environment,
+        invariant,
+        max_states,
+        max_depth,
+        workers,
+        parallel_threshold,
+        initial_state,
+        context,
+    )
+
+
+# ----------------------------------------------------------------------
+# Encoded merge loop for compositions
+# ----------------------------------------------------------------------
+
+
+def _explore_parallel_composition(
+    composition: Composition,
+    environment: Environment,
+    invariant: Invariant,
+    max_states: int,
+    max_depth: int,
+    workers: int,
+    parallel_threshold: int,
+    initial_state: Optional[State],
+    context,
+) -> ExplorationResult:
+    """The composition fast path: the parent merges over encoded states.
+
+    Sharded layers are decoded for dispatch and the returned raw edges
+    re-encoded on merge (interning order follows merge order, which
+    follows layer order -- deterministic); narrow layers never leave
+    the encoded domain at all, running through the serial engine's
+    memoized ``expand``.
+    """
+    search = _CompositionSearch(composition)
+    encoder = search.encoder
+    start = (
+        initial_state
+        if initial_state is not None
+        else composition.initial_state()
+    )
+    if invariant is not None and not invariant(start):
+        return ExplorationResult({start}, False, (start, ()))
+    start_enc = encoder.encode(start)
+    parents: Dict[Tuple[int, ...], Optional[Tuple]] = {start_enc: None}
+    layer: List[Tuple[int, ...]] = [start_enc]
+    depth = 0
+    truncated = False
+    decode = encoder.decode
+    pool = None
+    try:
+        pool = _make_pool(context, workers, composition, environment)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("explore.states", 1)  # the start state
+        while layer:
+            if depth >= max_depth:
+                truncated = True
+                break
+            sharded = (
+                pool is not None and len(layer) >= parallel_threshold
+            )
+            with tracer.span(
+                "explore.layer",
+                depth=depth,
+                width=len(layer),
+                mode="parallel" if sharded else "serial",
+            ):
+                per_state: Iterable[
+                    Iterable[Tuple[int, Tuple[int, ...]]]
+                ]
+                if sharded:
+                    chunksize = max(1, len(layer) // (workers * 4))
+                    edge_lists = pool.map(
+                        _expand_one,
+                        [decode(encoded) for encoded in layer],
+                        chunksize,
+                    )
+                    per_state = (
+                        [
+                            (
+                                encoder.token(action),
+                                encoder.encode(successor),
+                            )
+                            for action, successor in edges
+                        ]
+                        for edges in edge_lists
+                    )
+                else:
+                    per_state = (
+                        search.expand(
+                            encoded,
+                            ()
+                            if environment is None
+                            else list(environment(decode(encoded))),
+                        )
+                        for encoded in layer
+                    )
+                next_layer: List[Tuple[int, ...]] = []
+                fired = 0
+                for encoded, pairs in zip(layer, per_state):
+                    for token, succ_enc in pairs:
+                        fired += 1
+                        if succ_enc in parents:
+                            continue
+                        parents[succ_enc] = (encoded, token)
+                        if invariant is not None:
+                            real = decode(succ_enc)
+                            if not invariant(real):
+                                return ExplorationResult(
+                                    search._decode_all(parents),
+                                    truncated,
+                                    (
+                                        real,
+                                        search._trace(parents, succ_enc),
+                                    ),
+                                )
+                        if len(parents) > max_states:
+                            del parents[succ_enc]
+                            truncated = True
+                            break
+                        next_layer.append(succ_enc)
+                    if truncated:
+                        break
+                if tracer.enabled:
+                    tracer.count("explore.transitions", fired)
+                    tracer.count("explore.states", len(next_layer))
+                    tracer.gauge("explore.frontier", len(next_layer))
+            if truncated:
+                break
+            layer = next_layer
+            depth += 1
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    return ExplorationResult(search._decode_all(parents), truncated)
+
+
+# ----------------------------------------------------------------------
+# Raw-state merge loop (any other automaton)
+# ----------------------------------------------------------------------
+
+
+def _explore_parallel_generic(
+    automaton: Automaton,
+    environment: Environment,
+    invariant: Invariant,
+    max_states: int,
+    max_depth: int,
+    workers: int,
+    parallel_threshold: int,
+    initial_state: Optional[State],
+    context,
+) -> ExplorationResult:
     start = (
         initial_state
         if initial_state is not None
@@ -96,15 +291,7 @@ def explore_parallel(
     truncated = False
     pool = None
     try:
-        if context is not None:
-            try:
-                pool = context.Pool(
-                    workers,
-                    initializer=_init_worker,
-                    initargs=(automaton, environment),
-                )
-            except OSError:  # pragma: no cover - fork denied
-                pool = None
+        pool = _make_pool(context, workers, automaton, environment)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.count("explore.states", 1)  # the start state

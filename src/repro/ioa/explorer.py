@@ -27,6 +27,7 @@ truncated run.
 
 from __future__ import annotations
 
+import os
 import warnings
 from typing import Callable, Iterable, List, Optional, Set
 
@@ -89,10 +90,56 @@ def explore(
     runs serially -- ``workers`` is ignored when it is on.
 
     ``engine`` selects the backend: ``"auto"`` (the default) is the
-    high-throughput engine; ``"reference"`` is the original naive BFS
-    kept verbatim as the differential-testing oracle (serial only --
-    ``workers`` and ``validate`` are not supported with it).
+    high-throughput engine; ``"accel"`` opts into the compiled
+    packed-key core (built on demand from ``engine/_accel.c``; falls
+    back to the engine -- counted as ``explore.accel_fallback`` --
+    when no C compiler is available, the automaton is not a
+    composition, an ``environment``/``validate`` is requested, or the
+    state space outgrows the 64-bit packing; set
+    ``REPRO_ACCEL_REQUIRE=1`` to make the fallback a hard error);
+    ``"disk"`` spills the visited set and frontier to a self-cleaning
+    scratch directory so exploration is bounded by disk rather than
+    RAM (compositions only; RAM budget from ``$REPRO_DISK_RAM_CAP``,
+    see :func:`repro.ioa.engine.diskstore.explore_disk`);
+    ``"reference"`` is the original naive BFS kept verbatim as the
+    differential-testing oracle (serial only -- ``workers`` and
+    ``validate`` are not supported with it).
     """
+    if engine == "accel":
+        from .engine.accel import AccelUnavailable, explore_accel
+        from .engine.encoding import EncodingOverflow
+
+        try:
+            return explore_accel(
+                automaton,
+                environment=environment,
+                invariant=invariant,
+                max_states=max_states,
+                max_depth=max_depth,
+                validate=validate,
+                initial_state=initial_state,
+            )
+        except (AccelUnavailable, EncodingOverflow) as exc:
+            if os.environ.get("REPRO_ACCEL_REQUIRE"):
+                raise
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count(
+                    "explore.accel_fallback", 1, reason=str(exc)[:200]
+                )
+            engine = "auto"
+    if engine == "disk":
+        from .engine.diskstore import explore_disk
+
+        return explore_disk(
+            automaton,
+            environment=environment,
+            invariant=invariant,
+            max_states=max_states,
+            max_depth=max_depth,
+            validate=validate,
+            initial_state=initial_state,
+        )
     if engine == "reference":
         if validate:
             raise ValueError(
@@ -119,7 +166,8 @@ def explore(
         return result
     if engine != "auto":
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'auto' or 'reference'"
+            f"unknown engine {engine!r}; expected 'auto', 'accel', "
+            "'disk' or 'reference'"
         )
     if validate:
         return explore_engine(

@@ -33,6 +33,20 @@ class ScenarioResult:
     def steps(self) -> int:
         return len(self.fragment)
 
+    def distinct_states(self) -> list:
+        """The run's distinct visited states, first-occurrence order.
+
+        Deduplicated through a
+        :class:`~repro.ioa.engine.encoding.StreamEncoder`: consecutive
+        states of an execution share almost all their slice objects, so
+        the common probe is a pointer lookup and each distinct slice is
+        deep-hashed once -- the representation the fuzz pool ships its
+        coverage fingerprints from.
+        """
+        from ..ioa.engine.encoding import StreamEncoder
+
+        return StreamEncoder().distinct(self.fragment.states)
+
     def report(
         self,
         duration_s: float = 0.0,

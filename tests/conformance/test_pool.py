@@ -290,3 +290,76 @@ def test_run_timeout_records_failed_run():
     assert campaign.failed_runs == 1
     assert "wall-clock" in campaign.runs[0].error
     assert campaign.pool["timeouts"] == 1
+
+
+def test_timeout_guard_unavailable_off_main_thread_is_surfaced():
+    """SIGALRM handlers only install on the main thread: a run driven
+    from a worker thread must still execute -- unguarded -- and the
+    degradation must be reported, not swallowed."""
+    import threading
+
+    from repro.conformance.harness import SubSeeds
+    from repro.conformance.pool import execute_run
+
+    import random
+
+    subseeds = SubSeeds.derive(random.Random(5))
+    holder = {}
+
+    def drive():
+        holder["outcome"] = execute_run(
+            PROTOCOL,
+            "perfect",
+            5,
+            0,
+            subseeds,
+            FuzzConfig(runs=1, shrink=False),
+            run_timeout=30.0,
+        )
+
+    thread = threading.Thread(target=drive)
+    thread.start()
+    thread.join()
+    outcome = holder["outcome"]
+    assert outcome.error is None  # the run itself completed
+    assert outcome.steps > 0
+    assert outcome.timeout_unavailable is not None
+    assert "main thread" in outcome.timeout_unavailable
+
+    # Campaign-level surfacing: the counter fires and details.pool
+    # carries the note.
+    def campaign_in_thread():
+        sink = MemorySink()
+        with tracing(sink) as tracer:
+            campaign = fuzz_campaign(
+                PROTOCOL,
+                "perfect",
+                5,
+                FuzzConfig(runs=2, shrink=False),
+                run_timeout=30.0,
+            )
+            counters = tracer.snapshot_counters()
+        holder["campaign"] = campaign
+        holder["counters"] = counters
+
+    thread = threading.Thread(target=campaign_in_thread)
+    thread.start()
+    thread.join()
+    campaign = holder["campaign"]
+    note = campaign.pool["timeout_unavailable"]
+    assert note["runs"] == 2
+    assert "main thread" in note["reason"]
+    assert holder["counters"]["fuzz.pool.timeout_unavailable"] == 2
+    assert (
+        campaign.report().details["pool"]["timeout_unavailable"] == note
+    )
+
+    # On the main thread the guard arms and nothing is reported.
+    guarded = fuzz_campaign(
+        PROTOCOL,
+        "perfect",
+        5,
+        FuzzConfig(runs=1, shrink=False),
+        run_timeout=30.0,
+    )
+    assert "timeout_unavailable" not in guarded.pool

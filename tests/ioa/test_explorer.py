@@ -47,3 +47,53 @@ class TestExplore:
         result = explore(counter, max_states=10)
         assert result.truncated
         assert len(result.states) <= 11
+
+
+class TestDeprecationShims:
+    """The shims must blame the *caller*, not themselves.
+
+    ``stacklevel=2`` is only correct while the ``warnings.warn`` call
+    sits directly inside the public shim; these tests pin the reported
+    filename to the calling file so an added intermediate frame cannot
+    silently re-point the warning at library internals.
+    """
+
+    def test_explore_reference_warning_names_caller_file(self):
+        import warnings
+
+        from repro.ioa.explorer import explore_reference
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            explore_reference(Counter(3))
+        reports = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(reports) == 1
+        assert reports[0].filename == __file__
+
+    def test_scenario_report_warning_names_caller_file(self):
+        import random
+        import warnings
+
+        from repro.conformance.harness import (
+            FuzzConfig,
+            SubSeeds,
+            build_script,
+            build_system,
+            execute_script,
+        )
+
+        config = FuzzConfig(runs=1, messages=2)
+        subseeds = SubSeeds.derive(random.Random(3))
+        system = build_system("alternating_bit", "perfect", subseeds, config)
+        script = build_script(system, subseeds, config)
+        result = execute_script(system, script.actions, subseeds, config)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result.report(0.1, t="t", r="r")
+        reports = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(reports) == 1
+        assert reports[0].filename == __file__

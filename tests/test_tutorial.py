@@ -179,6 +179,29 @@ class TestSection5Exhaustive:
         assert "receive_msg" in chart
 
 
+class TestSection5Backends:
+    """Mirrors the compiled-core / disk-frontier subsection verbatim."""
+
+    def test_accel_and_disk_match_the_engine(self, monkeypatch):
+        from repro.analysis import build_closed_system
+        from repro.ioa import explore
+        from repro.protocols import alternating_bit_protocol
+
+        # A tiny RAM cap forces the disk backend to actually spill.
+        monkeypatch.setenv("REPRO_DISK_RAM_CAP", "64")
+        system, invariant, _ = build_closed_system(
+            alternating_bit_protocol(), messages=3, capacity=3
+        )
+        fast = explore(system, invariant=invariant, engine="accel")
+        big = explore(system, invariant=invariant, engine="disk")
+        baseline = explore(system, invariant=invariant)
+        assert fast.states == baseline.states
+        assert big.states == baseline.states
+        assert not baseline.truncated
+        # Lazy set views answer membership without materializing.
+        assert system.initial_state() in big.states
+
+
 class TestSection8Lint:
     def test_nak_protocol_lints_clean(self):
         from repro.lint import lint_targets, target_from
